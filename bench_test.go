@@ -1,0 +1,159 @@
+package ramiel_test
+
+import (
+	"testing"
+
+	ramiel "repro"
+	"repro/internal/bench"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// benchOpts keeps the per-iteration cost of the table regenerators modest:
+// small images, single measurement rep, and a capped IOS DP.
+var benchOpts = bench.Opts{ImageSize: 32, Reps: 1, Cores: 12, IOSBlockCap: 12}
+
+// runTable is the common driver: regenerate the table/figure b.N times and
+// report its size so the benchmark has a visible unit of work.
+func runTable(b *testing.B, fn func(bench.Opts) (string, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := fn(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation section.
+
+func BenchmarkTable1PotentialParallelism(b *testing.B) { runTable(b, bench.Table1) }
+func BenchmarkTable2ClusterMerging(b *testing.B)       { runTable(b, bench.Table2) }
+func BenchmarkTable3ConstPropDCE(b *testing.B)         { runTable(b, bench.Table3) }
+func BenchmarkTable4LinearClustering(b *testing.B)     { runTable(b, bench.Table4) }
+func BenchmarkTable5IntraOp(b *testing.B)              { runTable(b, bench.Table5) }
+func BenchmarkTable6LCPlusDCE(b *testing.B)            { runTable(b, bench.Table6) }
+func BenchmarkTable7Overall(b *testing.B)              { runTable(b, bench.Table7) }
+func BenchmarkTable8VsIOS(b *testing.B)                { runTable(b, bench.Table8) }
+func BenchmarkFig12Cloning(b *testing.B)               { runTable(b, bench.Fig12) }
+func BenchmarkFig13Hyperclustering(b *testing.B)       { runTable(b, bench.Fig13) }
+func BenchmarkFig14SwitchedHyper(b *testing.B)         { runTable(b, bench.Fig14) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationMerge(b *testing.B)          { runTable(b, bench.AblationMerge) }
+func BenchmarkAblationEdgeCost(b *testing.B)       { runTable(b, bench.AblationEdgeCost) }
+func BenchmarkAblationCloneThreshold(b *testing.B) { runTable(b, bench.AblationCloneThreshold) }
+func BenchmarkAblationChanDepth(b *testing.B)      { runTable(b, bench.AblationChanDepth) }
+
+// Micro-benchmarks of the pipeline stages themselves (compile-time story:
+// LC must stay in the milliseconds while IOS explodes).
+
+func BenchmarkLinearClusterSqueezenet(b *testing.B) { benchCompile(b, "squeezenet") }
+func BenchmarkLinearClusterBERT(b *testing.B)       { benchCompile(b, "bert") }
+func BenchmarkLinearClusterNASNet(b *testing.B)     { benchCompile(b, "nasnet") }
+
+func benchCompile(b *testing.B, model string) {
+	b.Helper()
+	g, err := ramiel.BuildModel(model, ramiel.ModelConfig{ImageSize: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ramiel.Compile(g, ramiel.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIOSCompileSqueezenet(b *testing.B) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 32})
+	m := cost.DefaultModel()
+	opts := sched.DefaultIOSOptions()
+	opts.MaxBlockChains = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.IOS(g, m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPruneBERT(b *testing.B) {
+	g := models.MustBuild("bert", models.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ramiel.Compile(g, ramiel.Options{Prune: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Executor benches: real parallel run vs sequential run on this host.
+
+func BenchmarkRunSequentialSqueezenet(b *testing.B) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 32})
+	feeds := models.RandomInputs(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSequential(g, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunParallelSqueezenet(b *testing.B) {
+	g, _ := ramiel.BuildModel("squeezenet", ramiel.ModelConfig{ImageSize: 32})
+	prog, err := ramiel.Compile(g, ramiel.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds := ramiel.RandomInputs(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Kernel benches, with and without intra-op parallelism (the ablation for
+// the parallel-for grain).
+
+func BenchmarkConv3x3(b *testing.B)         { benchConv(b, 1) }
+func BenchmarkConv3x3IntraOp4(b *testing.B) { benchConv(b, 4) }
+
+func benchConv(b *testing.B, threads int) {
+	b.Helper()
+	r := tensor.NewRNG(1)
+	x := r.RandTensor(1, 16, 32, 32)
+	w := r.RandTensor(32, 16, 3, 3)
+	tensor.SetIntraOpThreads(threads)
+	defer tensor.SetIntraOpThreads(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ramiel.Call("Conv", []*ramiel.Tensor{x, w},
+			ramiel.Attrs{"pads": []int{1, 1, 1, 1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := tensor.NewRNG(2)
+	a := r.RandTensor(128, 128)
+	c := r.RandTensor(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ramiel.Call("MatMul", []*ramiel.Tensor{a, c}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

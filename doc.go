@@ -1,0 +1,21 @@
+// Package ramiel (module "repro") is a Go reproduction of "Automatic Task
+// Parallelization of Dataflow Graphs in ML/DL models" (Das & Rauchwerger,
+// arXiv:2308.11192): a fast, search-free compiler that extracts task
+// parallelism from ML dataflow graphs for batch-size-1 CPU inference.
+//
+// The pipeline mirrors the paper's tool Ramiel:
+//
+//	model (ONNX-subset) ──► graph IR ──► prune (const-prop + DCE)
+//	     ──► clone ──► Linear Clustering + merging ──► hyperclusters (batch>1)
+//	     ──► parallel execution (goroutine per cluster, channel messages)
+//	        └─► readable generated Go code, one function per cluster
+//
+// Quick start:
+//
+//	g, _ := ramiel.BuildModel("squeezenet", ramiel.ModelConfig{})
+//	prog, _ := ramiel.Compile(g, ramiel.Options{Prune: true})
+//	outs, _ := prog.Run(ramiel.RandomInputs(g, 42))
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory and experiment index.
+package ramiel

@@ -1,0 +1,189 @@
+package codegen
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+func squeezeLanes(t *testing.T) (*graph.Graph, [][]*graph.Node) {
+	t.Helper()
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	cl, err := core.LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.MergeClusters()
+	lanes := make([][]*graph.Node, len(cl.Clusters))
+	for i, c := range cl.Clusters {
+		lanes[i] = c.Nodes
+	}
+	return g, lanes
+}
+
+func TestGenerateParses(t *testing.T) {
+	g, lanes := squeezeLanes(t)
+	src, err := Generate(g, lanes, Options{EmitMain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, firstLines(src, 60))
+	}
+	if _, err := format.Source([]byte(src)); err != nil {
+		t.Errorf("generated code does not gofmt: %v", err)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	g, lanes := squeezeLanes(t)
+	src, err := Generate(g, lanes, Options{EmitMain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One function per cluster plus the sequential version and main.
+	for i := range lanes {
+		if !strings.Contains(src, "func cluster"+itoa(i)+"(") {
+			t.Errorf("missing cluster%d function", i)
+		}
+	}
+	for _, want := range []string{
+		"func runSequential(", "func main()",
+		"q.Send(", "q.Recv(", "q.Publish(",
+		"ramiel.Call(", "DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	// Paper property: readable — every node name appears as a comment.
+	if !strings.Contains(src, "// "+g.Nodes[0].Name) &&
+		!strings.Contains(src, g.Nodes[0].Name) {
+		t.Error("node names absent from generated code")
+	}
+}
+
+func TestGenerateSendRecvPairing(t *testing.T) {
+	g, lanes := squeezeLanes(t)
+	src, err := Generate(g, lanes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := strings.Count(src, "q.Send(")
+	recvs := strings.Count(src, "q.Recv(")
+	if sends == 0 || recvs == 0 {
+		t.Fatal("no messaging generated for a multi-cluster plan")
+	}
+	if sends != recvs {
+		t.Errorf("sends (%d) != recvs (%d): every put needs exactly one get", sends, recvs)
+	}
+}
+
+func TestGenerateSingleLaneHasNoMessaging(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(g, [][]*graph.Node{order}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "q.Send(") || strings.Contains(src, "q.Recv(") {
+		t.Error("single-lane program still exchanges messages")
+	}
+}
+
+func TestGenerateRejectsBadLanes(t *testing.T) {
+	g, lanes := squeezeLanes(t)
+	if _, err := Generate(g, lanes[:1], Options{}); err == nil {
+		t.Error("partial lane cover accepted")
+	}
+}
+
+func TestGeneratePackageOption(t *testing.T) {
+	g, lanes := squeezeLanes(t)
+	src, err := Generate(g, lanes, Options{Package: "genpkg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(srcAfterComments(src), "package genpkg") {
+		t.Error("package option ignored")
+	}
+	if strings.Contains(src, "func main()") {
+		t.Error("main emitted without EmitMain")
+	}
+}
+
+func TestIdentSanitization(t *testing.T) {
+	cases := map[string]string{
+		"t_5":      "v_t_5",
+		"a.b/c":    "v_a_b_c",
+		"conv#2":   "v_conv_2",
+		"αβ":       "v___",
+		"Plain123": "v_Plain123",
+	}
+	for in, want := range cases {
+		if got := ident(in); got != want {
+			t.Errorf("ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValueLiteral(t *testing.T) {
+	cases := map[string]any{
+		"3":              3,
+		"4":              int64(4),
+		"2.5":            2.5,
+		`"s"`:            "s",
+		"[]int{1, 2}":    []int{1, 2},
+		"[]float32{1.5}": []float32{1.5},
+		"[]float64{0.5}": []float64{0.5},
+		"[]any{1, 2.5}":  []any{1, 2.5},
+		"float32(1.25)":  float32(1.25),
+	}
+	for want, in := range cases {
+		if got := valueLiteral(in); got != want {
+			t.Errorf("valueLiteral(%#v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func srcAfterComments(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		return trimmed
+	}
+	return ""
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

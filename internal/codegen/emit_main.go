@@ -1,0 +1,98 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// emitSequential writes the single-core non-parallel version the paper also
+// generates "to ensure completeness and to evaluate the parallel code
+// generation": every operator inline, in topological order, no queues.
+func emitSequential(b *strings.Builder, g *graph.Graph) {
+	order, err := g.TopoSort()
+	if err != nil {
+		// Generate callers validate the graph first; emit a comment rather
+		// than corrupt output if they did not.
+		fmt.Fprintf(b, "// sequential version omitted: %v\n\n", err)
+		return
+	}
+	b.WriteString("// runSequential executes the whole graph on the calling goroutine; it is\n")
+	b.WriteString("// the reference the parallel clusters are validated against.\n")
+	b.WriteString("func runSequential(env ramiel.Env) (ramiel.Env, error) {\n")
+	b.WriteString("\tout := ramiel.Env{}\n")
+	defined := map[string]bool{}
+	for _, n := range order {
+		args := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			if defined[in] {
+				args[i] = ident(in)
+			} else {
+				args[i] = fmt.Sprintf("env[%q]", in)
+			}
+		}
+		outsVar := "outs_" + sanitize(n.Name)
+		fmt.Fprintf(b, "\t%s, err := ramiel.Call(%q, []*ramiel.Tensor{%s}, %s) // %s\n",
+			outsVar, n.OpType, strings.Join(args, ", "), attrLiteral(n), n.Name)
+		b.WriteString("\tif err != nil {\n\t\treturn nil, err\n\t}\n")
+		outsUsed := false
+		for i, outName := range n.Outputs {
+			consumed := len(g.Consumers(outName)) > 0
+			isOut := g.IsGraphOutput(outName)
+			if !consumed && !isOut {
+				continue
+			}
+			fmt.Fprintf(b, "\t%s := %s[%d]\n", ident(outName), outsVar, i)
+			defined[outName] = true
+			outsUsed = true
+			if isOut {
+				fmt.Fprintf(b, "\tout[%q] = %s\n", outName, ident(outName))
+			}
+			if !consumed && isOut {
+				continue
+			}
+			if !consumed {
+				fmt.Fprintf(b, "\t_ = %s\n", ident(outName))
+			}
+		}
+		if !outsUsed {
+			fmt.Fprintf(b, "\t_ = %s\n", outsVar)
+		}
+	}
+	b.WriteString("\treturn out, nil\n}\n\n")
+}
+
+// emitMain writes a runnable driver: build the environment (from a model
+// file or synthetic weights), launch one goroutine per cluster connected by
+// queues, time the run, and cross-check against the sequential version.
+func emitMain(b *strings.Builder, g *graph.Graph, lanes int, opts Options) {
+	b.WriteString("func main() {\n")
+	if opts.ModelPath != "" {
+		fmt.Fprintf(b, "\tenv, err := ramiel.LoadEnv(%q)\n", opts.ModelPath)
+		b.WriteString("\tif err != nil {\n\t\tlog.Fatal(err)\n\t}\n")
+	} else {
+		fmt.Fprintf(b, "\tenv := ramiel.SyntheticEnv(%q)\n", g.Name)
+		b.WriteString("\tvar err error\n")
+	}
+	fmt.Fprintf(b, "\tq := ramiel.NewQueues(%d)\n", lanes)
+	b.WriteString("\tstart := time.Now()\n")
+	b.WriteString("\terrs := make(chan error, " + fmt.Sprint(lanes) + ")\n")
+	for i := 0; i < lanes; i++ {
+		fmt.Fprintf(b, "\tgo func() { errs <- cluster%d(env, q) }()\n", i)
+	}
+	fmt.Fprintf(b, "\tfor i := 0; i < %d; i++ {\n", lanes)
+	b.WriteString("\t\tif err = <-errs; err != nil {\n\t\t\tlog.Fatal(err)\n\t\t}\n\t}\n")
+	b.WriteString("\tparallel := time.Since(start)\n")
+	b.WriteString("\tgot := q.Published()\n\n")
+	b.WriteString("\tstart = time.Now()\n")
+	b.WriteString("\twant, err := runSequential(env)\n")
+	b.WriteString("\tif err != nil {\n\t\tlog.Fatal(err)\n\t}\n")
+	b.WriteString("\tsequential := time.Since(start)\n\n")
+	b.WriteString("\tfor name, w := range want {\n")
+	b.WriteString("\t\tif gTen, ok := got[name]; !ok || !gTen.AllClose(w, 1e-4, 1e-5) {\n")
+	b.WriteString("\t\t\tlog.Fatalf(\"output %q differs between parallel and sequential run\", name)\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "\tfmt.Printf(\"%s: parallel %%v, sequential %%v, speedup %%.2fx, outputs verified\\n\",\n", g.Name)
+	b.WriteString("\t\tparallel, sequential, float64(sequential)/float64(parallel))\n")
+	b.WriteString("}\n")
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: the recursive
+// critical-path-based Linear Clustering algorithm (Algorithm 1) with the
+// iterative cluster-merging pass (Algorithms 2 and 3). A clustering is a
+// partition of the dataflow graph's nodes; each cluster is intended to run
+// on its own core, with cross-cluster tensor dependences carried by
+// messages.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// Cluster is one group of nodes mapped to a single execution lane.
+type Cluster struct {
+	// ID is the cluster index within its Clustering.
+	ID int
+	// Nodes are in intended execution order (for a fresh linear cluster,
+	// the critical-path order; for merged clusters, decreasing
+	// distance-to-end).
+	Nodes []*graph.Node
+}
+
+// Cost sums the model cost of the cluster's nodes.
+func (c *Cluster) Cost(m cost.Model) float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t += m.NodeCost(n)
+	}
+	return t
+}
+
+// Names returns the node names, in cluster order.
+func (c *Cluster) Names() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("C%d[%d nodes]", c.ID, len(c.Nodes))
+}
+
+// Clustering is a partition of a graph's nodes into clusters plus the
+// distance-to-end table the clustering was computed against.
+type Clustering struct {
+	Graph    *graph.Graph
+	Clusters []*Cluster
+	// Dist is the weighted distance-to-end of every node (the LC
+	// "distance pass" output), reused by merging and hyperclustering.
+	Dist map[*graph.Node]float64
+	// Model is the cost model the distances were computed with.
+	Model cost.Model
+}
+
+// ClusterOf returns a node-name → cluster-ID map (for DOT coloring and the
+// executor's ownership test).
+func (cl *Clustering) ClusterOf() map[string]int {
+	out := make(map[string]int, len(cl.Graph.Nodes))
+	for _, c := range cl.Clusters {
+		for _, n := range c.Nodes {
+			out[n.Name] = c.ID
+		}
+	}
+	return out
+}
+
+// Validate checks the partition property: every graph node appears in
+// exactly one cluster.
+func (cl *Clustering) Validate() error {
+	seen := map[*graph.Node]int{}
+	for _, c := range cl.Clusters {
+		for _, n := range c.Nodes {
+			if prev, dup := seen[n]; dup {
+				return fmt.Errorf("core: node %s in clusters %d and %d", n.Name, prev, c.ID)
+			}
+			seen[n] = c.ID
+		}
+	}
+	for _, n := range cl.Graph.Nodes {
+		if _, ok := seen[n]; !ok {
+			return fmt.Errorf("core: node %s not assigned to any cluster", n.Name)
+		}
+	}
+	if len(seen) != len(cl.Graph.Nodes) {
+		return fmt.Errorf("core: clustering covers %d nodes, graph has %d", len(seen), len(cl.Graph.Nodes))
+	}
+	return nil
+}
+
+// CrossEdges counts tensor dependences that cross cluster boundaries — the
+// messages the generated parallel code will exchange.
+func (cl *Clustering) CrossEdges() int {
+	owner := cl.ClusterOf()
+	count := 0
+	for _, n := range cl.Graph.Nodes {
+		for _, s := range cl.Graph.Successors(n) {
+			if owner[n.Name] != owner[s.Name] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// String renders a compact summary.
+func (cl *Clustering) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Clustering(%s): %d clusters", cl.Graph.Name, len(cl.Clusters))
+	for _, c := range cl.Clusters {
+		fmt.Fprintf(&b, " %s", c)
+	}
+	return b.String()
+}
+
+// sortClustersByStart orders clusters by decreasing entry distance-to-end
+// (i.e. earliest-starting cluster first) for stable, readable output.
+func (cl *Clustering) sortClustersByStart() {
+	sort.SliceStable(cl.Clusters, func(i, j int) bool {
+		ci, cj := cl.Clusters[i], cl.Clusters[j]
+		if len(ci.Nodes) == 0 || len(cj.Nodes) == 0 {
+			return len(ci.Nodes) > len(cj.Nodes)
+		}
+		di := cl.Dist[ci.Nodes[0]]
+		dj := cl.Dist[cj.Nodes[0]]
+		if di != dj {
+			return di > dj
+		}
+		return ci.Nodes[0].ID < cj.Nodes[0].ID
+	})
+	for i, c := range cl.Clusters {
+		c.ID = i
+	}
+}

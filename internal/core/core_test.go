@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// forkJoin builds the paper's Fig. 1 shape: a trunk that forks into two
+// conv paths which reconverge at a concat, repeated `reps` times.
+func forkJoin(reps int) *graph.Graph {
+	g := graph.New("forkjoin")
+	g.Inputs = []graph.ValueInfo{{Name: "x0"}}
+	cur := "x0"
+	for r := 0; r < reps; r++ {
+		s := "sq" + itoa(r)
+		g.AddNode("squeeze"+itoa(r), "Conv", []string{cur}, []string{s},
+			ops.Attrs{"kernel_shape": []int{1, 1}})
+		a := "a" + itoa(r)
+		bOut := "b" + itoa(r)
+		g.AddNode("expA"+itoa(r), "Conv", []string{s}, []string{a},
+			ops.Attrs{"kernel_shape": []int{1, 1}})
+		g.AddNode("expB"+itoa(r), "Conv", []string{s}, []string{bOut},
+			ops.Attrs{"kernel_shape": []int{3, 3}})
+		out := "cat" + itoa(r)
+		g.AddNode("concat"+itoa(r), "Concat", []string{a, bOut}, []string{out}, nil)
+		cur = out
+	}
+	g.Outputs = []graph.ValueInfo{{Name: cur}}
+	return g
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestLinearClusterPartition(t *testing.T) {
+	g := forkJoin(4)
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearClusterPathsAreLinear(t *testing.T) {
+	// Each fresh LC cluster must be a path: consecutive nodes connected by
+	// an edge in the original graph.
+	g := forkJoin(5)
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cl.Clusters {
+		for i := 1; i < len(c.Nodes); i++ {
+			prev, cur := c.Nodes[i-1], c.Nodes[i]
+			found := false
+			for _, s := range g.Successors(prev) {
+				if s == cur {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cluster %d: %s does not feed %s", c.ID, prev.Name, cur.Name)
+			}
+		}
+	}
+}
+
+func TestLinearClusterFirstClusterIsCriticalPath(t *testing.T) {
+	g := forkJoin(3)
+	m := cost.DefaultModel()
+	cl, err := LinearCluster(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _, err := cost.CriticalPath(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 (earliest-starting, which for LC is the first peeled path)
+	// must contain exactly the critical-path nodes.
+	c0 := map[string]bool{}
+	for _, n := range cl.Clusters[0].Nodes {
+		c0[n.Name] = true
+	}
+	for _, n := range cp {
+		if !c0[n.Name] {
+			t.Fatalf("critical-path node %s not in first cluster %v", n.Name, cl.Clusters[0].Names())
+		}
+	}
+	if len(cl.Clusters[0].Nodes) != len(cp) {
+		t.Errorf("first cluster has %d nodes, critical path has %d", len(cl.Clusters[0].Nodes), len(cp))
+	}
+}
+
+func TestLinearClusterSqueezenetShape(t *testing.T) {
+	// Paper Fig. 5: Squeezenet's LC yields one long main cluster (the
+	// heavy conv chain) plus small side clusters of expand convs; the
+	// fork-join toy shows the same shape: cluster 0 long, others length 1.
+	g := forkJoin(8)
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 9 { // main path + 8 side expands
+		t.Fatalf("got %d clusters, want 9: %v", len(cl.Clusters), cl)
+	}
+	if len(cl.Clusters[0].Nodes) != 8*3 { // squeeze+expB+concat per rep
+		t.Errorf("main cluster has %d nodes", len(cl.Clusters[0].Nodes))
+	}
+}
+
+func TestMergeClustersCollapsesDisjointWindows(t *testing.T) {
+	// The 8 side clusters of forkJoin(8) occupy pairwise-disjoint time
+	// windows (one per rep), so merging must collapse them into one merged
+	// side cluster: 9 → 2, the paper's exact Squeezenet row in Table II.
+	g := forkJoin(8)
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(cl.Clusters)
+	cl.MergeClusters()
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pre != 9 || len(cl.Clusters) != 2 {
+		t.Errorf("merge: %d → %d clusters, want 9 → 2", pre, len(cl.Clusters))
+	}
+}
+
+func TestMergePreservesNodeSet(t *testing.T) {
+	g := forkJoin(6)
+	cl, _ := LinearCluster(g, cost.DefaultModel())
+	before := 0
+	for _, c := range cl.Clusters {
+		before += len(c.Nodes)
+	}
+	cl.MergeClusters()
+	after := 0
+	for _, c := range cl.Clusters {
+		after += len(c.Nodes)
+	}
+	if before != after || after != len(g.Nodes) {
+		t.Errorf("merge changed node count: %d → %d (graph %d)", before, after, len(g.Nodes))
+	}
+}
+
+func TestMergedClusterOrderRespectsDistance(t *testing.T) {
+	g := forkJoin(6)
+	cl, _ := LinearCluster(g, cost.DefaultModel())
+	cl.MergeClusters()
+	for _, c := range cl.Clusters {
+		for i := 1; i < len(c.Nodes); i++ {
+			if cl.Dist[c.Nodes[i-1]] < cl.Dist[c.Nodes[i]] {
+				t.Fatalf("cluster %d nodes out of distance order at %d", c.ID, i)
+			}
+		}
+	}
+}
+
+func TestClusterOfAndCrossEdges(t *testing.T) {
+	g := forkJoin(2)
+	cl, _ := LinearCluster(g, cost.DefaultModel())
+	owner := cl.ClusterOf()
+	if len(owner) != len(g.Nodes) {
+		t.Fatalf("ClusterOf covers %d of %d nodes", len(owner), len(g.Nodes))
+	}
+	x := cl.CrossEdges()
+	if x <= 0 {
+		t.Errorf("fork-join should have cross edges, got %d", x)
+	}
+	cl.MergeClusters()
+	x2 := cl.CrossEdges()
+	if x2 > x {
+		t.Errorf("merging increased cross edges: %d → %d", x, x2)
+	}
+}
+
+func TestLinearClusterSingleNode(t *testing.T) {
+	g := graph.New("one")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("only", "Relu", []string{"x"}, []string{"y"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "y"}}
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 1 || len(cl.Clusters[0].Nodes) != 1 {
+		t.Errorf("clustering = %v", cl)
+	}
+	cl.MergeClusters()
+	if len(cl.Clusters) != 1 {
+		t.Errorf("merge broke single cluster: %v", cl)
+	}
+}
+
+func TestLinearClusterEmptyGraph(t *testing.T) {
+	g := graph.New("empty")
+	cl, err := LinearCluster(g, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 0 {
+		t.Errorf("empty graph produced clusters: %v", cl)
+	}
+}
+
+func TestLinearClusterCyclicGraphRejected(t *testing.T) {
+	g := graph.New("cyc")
+	g.AddNode("a", "Relu", []string{"vb"}, []string{"va"}, nil)
+	g.AddNode("b", "Relu", []string{"va"}, []string{"vb"}, nil)
+	if _, err := LinearCluster(g, cost.DefaultModel()); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestClusterCost(t *testing.T) {
+	g := forkJoin(1)
+	m := cost.DefaultModel()
+	cl, _ := LinearCluster(g, m)
+	var total float64
+	for _, c := range cl.Clusters {
+		total += c.Cost(m)
+	}
+	if total != cost.GraphCost(g, m) {
+		t.Errorf("cluster costs sum %v, graph cost %v", total, cost.GraphCost(g, m))
+	}
+}
+
+// Property: LC on random DAGs always yields a valid partition, and merging
+// preserves it while never increasing the cluster count.
+func TestLCAndMergePartitionProperty(t *testing.T) {
+	m := cost.DefaultModel()
+	f := func(seed uint32, n0 uint8) bool {
+		n := int(n0%50) + 1
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)+3), n)
+		cl, err := LinearCluster(g, m)
+		if err != nil {
+			return false
+		}
+		if cl.Validate() != nil {
+			return false
+		}
+		pre := len(cl.Clusters)
+		cl.MergeClusters()
+		return cl.Validate() == nil && len(cl.Clusters) <= pre
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging reaches a fixed point — a second MergeClusters call
+// changes nothing.
+func TestMergeFixedPoint(t *testing.T) {
+	m := cost.DefaultModel()
+	f := func(seed uint32) bool {
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)*11+5), 40)
+		cl, err := LinearCluster(g, m)
+		if err != nil {
+			return false
+		}
+		cl.MergeClusters()
+		k := len(cl.Clusters)
+		cl.MergeClusters()
+		return len(cl.Clusters) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no two merged clusters still have disjoint windows (otherwise
+// the fixed point claim of Algorithm 3 would be violated).
+func TestMergeNoRemainingDisjointWindows(t *testing.T) {
+	m := cost.DefaultModel()
+	f := func(seed uint32) bool {
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)*7+9), 30)
+		cl, err := LinearCluster(g, m)
+		if err != nil {
+			return false
+		}
+		cl.MergeClusters()
+		for i, a := range cl.Clusters {
+			for j, b := range cl.Clusters {
+				if i == j {
+					continue
+				}
+				if cl.sSpan(a) < cl.eSpan(b) || cl.sSpan(b) < cl.eSpan(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

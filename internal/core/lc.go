@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// LinearCluster runs the recursive critical-path-based Linear Clustering of
+// Algorithm 1 (Kim & Browne style): repeatedly pick the unclustered ready
+// node with the greatest weighted distance-to-end, then walk the heaviest
+// remaining successor chain, claiming each node for the new cluster and
+// zeroing its other edges out of contention. Iterating until no nodes
+// remain yields a partition into linear paths, each the critical path of
+// the graph that remained when it was peeled.
+func LinearCluster(g *graph.Graph, m cost.Model) (*Clustering, error) {
+	// Distance pass.
+	dist, err := cost.DistanceToEnd(g, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: distance pass: %w", err)
+	}
+
+	// Mutable edge structure, node-granular: out[n] and in[n] are the
+	// remaining edge sets, pruned as the algorithm zeroes nodes out.
+	remaining := make(map[*graph.Node]bool, len(g.Nodes))
+	out := make(map[*graph.Node]map[*graph.Node]bool, len(g.Nodes))
+	in := make(map[*graph.Node]map[*graph.Node]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		remaining[n] = true
+		out[n] = map[*graph.Node]bool{}
+		in[n] = map[*graph.Node]bool{}
+	}
+	for _, n := range g.Nodes {
+		for _, s := range g.Successors(n) {
+			out[n][s] = true
+			in[s][n] = true
+		}
+	}
+
+	cl := &Clustering{Graph: g, Dist: dist, Model: m}
+	for len(remaining) > 0 {
+		// readyL: remaining nodes with no remaining incoming edges.
+		var cNode *graph.Node
+		for n := range remaining {
+			if len(in[n]) != 0 {
+				continue
+			}
+			if cNode == nil || better(dist, n, cNode) {
+				cNode = n
+			}
+		}
+		if cNode == nil {
+			// Cannot happen on a DAG: some node always has indegree 0.
+			return nil, fmt.Errorf("core: no ready node among %d remaining (cycle?)", len(remaining))
+		}
+
+		cluster := &Cluster{ID: len(cl.Clusters), Nodes: []*graph.Node{cNode}}
+		delete(remaining, cNode)
+		for len(out[cNode]) > 0 {
+			// Heaviest remaining successor continues the path.
+			var sNode *graph.Node
+			for s := range out[cNode] {
+				if sNode == nil || better(dist, s, sNode) {
+					sNode = s
+				}
+			}
+			// Zero out cNode's other outgoing edges and all of sNode's
+			// incoming edges (Algorithm 1's two removal steps).
+			for s := range out[cNode] {
+				if s != sNode {
+					delete(in[s], cNode)
+				}
+			}
+			out[cNode] = map[*graph.Node]bool{}
+			for p := range in[sNode] {
+				delete(out[p], sNode)
+			}
+			in[sNode] = map[*graph.Node]bool{}
+
+			cluster.Nodes = append(cluster.Nodes, sNode)
+			delete(remaining, sNode)
+			cNode = sNode
+		}
+		cl.Clusters = append(cl.Clusters, cluster)
+	}
+	cl.sortClustersByStart()
+	return cl, nil
+}
+
+// better orders nodes by distance-to-end, breaking ties by ID so the
+// algorithm is deterministic.
+func better(dist map[*graph.Node]float64, a, b *graph.Node) bool {
+	if dist[a] != dist[b] {
+		return dist[a] > dist[b]
+	}
+	return a.ID < b.ID
+}

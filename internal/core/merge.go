@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// sSpan is the start of a cluster's execution window: the distance-to-end
+// of its entry node (the larger value — further from the end means
+// earlier in time).
+func (cl *Clustering) sSpan(c *Cluster) float64 {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	return cl.Dist[c.Nodes[0]]
+}
+
+// eSpan is the end of the window: the distance-to-end of the exit node.
+func (cl *Clustering) eSpan(c *Cluster) float64 {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	return cl.Dist[c.Nodes[len(c.Nodes)-1]]
+}
+
+// mergeOnce is Algorithm 2 (MergeClusters): one sweep over all cluster
+// pairs, combining the first pair found whose [eSpan, sSpan] windows do not
+// overlap, marking both so they are not reused this sweep. Returns the new
+// cluster list and whether any merge happened.
+func (cl *Clustering) mergeOnce(clusters []*Cluster) ([]*Cluster, bool) {
+	merged := []*Cluster{}
+	skip := map[*Cluster]bool{}
+	taken := map[*Cluster]bool{}
+	mergeDone := false
+
+	for _, cl1 := range clusters {
+		if taken[cl1] {
+			continue
+		}
+		for _, cl2 := range clusters {
+			if cl1 == cl2 || skip[cl1] || skip[cl2] || taken[cl2] {
+				continue
+			}
+			// Windows do not overlap when one cluster starts after the
+			// other has finished (in distance-to-end coordinates, "after"
+			// means a smaller value).
+			if cl.sSpan(cl1) < cl.eSpan(cl2) || cl.sSpan(cl2) < cl.eSpan(cl1) {
+				mc := &Cluster{Nodes: append(append([]*graph.Node{}, cl1.Nodes...), cl2.Nodes...)}
+				// Keep execution order: decreasing distance-to-end.
+				sort.SliceStable(mc.Nodes, func(i, j int) bool {
+					di, dj := cl.Dist[mc.Nodes[i]], cl.Dist[mc.Nodes[j]]
+					if di != dj {
+						return di > dj
+					}
+					return mc.Nodes[i].ID < mc.Nodes[j].ID
+				})
+				merged = append(merged, mc)
+				skip[cl1], skip[cl2] = true, true
+				taken[cl1], taken[cl2] = true, true
+				mergeDone = true
+				break
+			}
+		}
+		if !taken[cl1] {
+			merged = append(merged, cl1)
+			taken[cl1] = true
+		}
+	}
+	return merged, mergeDone
+}
+
+// MergeClusters is Algorithm 3 (Iterative Cluster Merging): run Algorithm 2
+// until a fixed point where no two clusters have disjoint execution
+// windows. It mutates the receiver's cluster list in place and returns the
+// receiver for chaining.
+func (cl *Clustering) MergeClusters() *Clustering {
+	clusters := cl.Clusters
+	for {
+		next, mergeDone := cl.mergeOnce(clusters)
+		clusters = next
+		if !mergeDone {
+			break
+		}
+	}
+	cl.Clusters = clusters
+	cl.sortClustersByStart()
+	return cl
+}

@@ -1,0 +1,230 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// chain builds a linear graph of n Relu nodes.
+func chain(n int) *graph.Graph {
+	g := graph.New("chain")
+	g.Inputs = []graph.ValueInfo{{Name: "v0"}}
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeName(i), "Relu", []string{valName(i)}, []string{valName(i + 1)}, nil)
+	}
+	g.Outputs = []graph.ValueInfo{{Name: valName(n)}}
+	return g
+}
+
+func nodeName(i int) string { return "n" + string(rune('A'+i%26)) + itoa(i) }
+func valName(i int) string  { return "v" + itoa(i) }
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestDefaultModelWeights(t *testing.T) {
+	m := DefaultModel()
+	conv := &graph.Node{OpType: "Conv", Attrs: ops.Attrs{"kernel_shape": []int{3, 3}}}
+	relu := &graph.Node{OpType: "Relu"}
+	if m.NodeCost(conv) <= m.NodeCost(relu) {
+		t.Error("Conv not heavier than Relu")
+	}
+	if m.NodeCost(relu) != 1 {
+		t.Errorf("Relu cost = %v, want 1", m.NodeCost(relu))
+	}
+	unknown := &graph.Node{OpType: "FancyOp"}
+	if m.NodeCost(unknown) != m.DefaultWt {
+		t.Errorf("unknown op cost = %v", m.NodeCost(unknown))
+	}
+}
+
+func TestKernelScaling(t *testing.T) {
+	m := DefaultModel()
+	mk := func(k int) *graph.Node {
+		return &graph.Node{OpType: "Conv", Attrs: ops.Attrs{"kernel_shape": []int{k, k}}}
+	}
+	c1, c3, c5, c7 := m.NodeCost(mk(1)), m.NodeCost(mk(3)), m.NodeCost(mk(5)), m.NodeCost(mk(7))
+	if !(c1 < c3 && c3 < c5 && c5 < c7) {
+		t.Errorf("kernel scaling broken: 1x1=%v 3x3=%v 5x5=%v 7x7=%v", c1, c3, c5, c7)
+	}
+	// 7x7 should be markedly (not marginally) heavier than 3x3, per paper.
+	if c7/c3 < 3 {
+		t.Errorf("7x7/3x3 ratio only %v", c7/c3)
+	}
+}
+
+func TestDistanceToEndChain(t *testing.T) {
+	g := chain(5)
+	m := DefaultModel()
+	dist, err := DistanceToEnd(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last node: cost 1. Each earlier node adds 1 (node) + 1 (edge).
+	order, _ := g.TopoSort()
+	for i, n := range order {
+		want := float64(5-i) + float64(4-i) // nodes remaining + edges remaining
+		if math.Abs(dist[n]-want) > 1e-9 {
+			t.Errorf("dist[%s] = %v, want %v", n.Name, dist[n], want)
+		}
+	}
+}
+
+func TestCriticalPathPicksHeavyBranch(t *testing.T) {
+	g := graph.New("fork")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("src", "Relu", []string{"x"}, []string{"s"}, nil)
+	g.AddNode("heavy", "Conv", []string{"s"}, []string{"h"}, ops.Attrs{"kernel_shape": []int{7, 7}})
+	g.AddNode("light", "Relu", []string{"s"}, []string{"l"}, nil)
+	g.AddNode("join", "Add", []string{"h", "l"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	path, cp, err := CriticalPath(g, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range path {
+		names[n.Name] = true
+	}
+	if !names["heavy"] || names["light"] {
+		t.Errorf("critical path %v should route through heavy branch", path)
+	}
+	if cp <= 0 {
+		t.Errorf("cp = %v", cp)
+	}
+}
+
+func TestComputeMetricsChainBelowOne(t *testing.T) {
+	// A pure chain has parallelism < 1 because edges add CP overhead
+	// (paper: Squeezenet at 0.86x).
+	g := chain(10)
+	m, err := ComputeMetrics(g, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parallelism >= 1 {
+		t.Errorf("chain parallelism = %v, want < 1", m.Parallelism)
+	}
+	if m.Nodes != 10 || m.NodeCost != 10 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestComputeMetricsWideGraphAboveOne(t *testing.T) {
+	// A wide fork-join with many parallel conv paths must show high
+	// potential parallelism (paper: NASNet at 3.7x).
+	g := graph.New("wide")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("fork", "Relu", []string{"x"}, []string{"f"}, nil)
+	joinIns := []string{}
+	for i := 0; i < 8; i++ {
+		out := "branch" + itoa(i)
+		g.AddNode("conv"+itoa(i), "Conv", []string{"f"}, []string{out}, ops.Attrs{"kernel_shape": []int{3, 3}})
+		joinIns = append(joinIns, out)
+	}
+	g.AddNode("join", "Concat", joinIns, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	m, err := ComputeMetrics(g, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parallelism <= 2 {
+		t.Errorf("wide graph parallelism = %v, want > 2", m.Parallelism)
+	}
+}
+
+func TestGraphCost(t *testing.T) {
+	g := chain(4)
+	if got := GraphCost(g, DefaultModel()); got != 4 {
+		t.Errorf("GraphCost = %v", got)
+	}
+}
+
+func TestDistanceToEndCyclicError(t *testing.T) {
+	g := graph.New("cyc")
+	g.AddNode("a", "Relu", []string{"vb"}, []string{"va"}, nil)
+	g.AddNode("b", "Relu", []string{"va"}, []string{"vb"}, nil)
+	if _, err := DistanceToEnd(g, DefaultModel()); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	if _, _, err := CriticalPath(g, DefaultModel()); err == nil {
+		t.Error("CriticalPath accepted cyclic graph")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New("empty")
+	path, cp, err := CriticalPath(g, DefaultModel())
+	if err != nil || path != nil || cp != 0 {
+		t.Errorf("empty CP = %v %v %v", path, cp, err)
+	}
+	m, err := ComputeMetrics(g, DefaultModel())
+	if err != nil || m.Parallelism != 0 {
+		t.Errorf("empty metrics = %+v %v", m, err)
+	}
+}
+
+// Property: on random DAGs, critical-path cost is at least the heaviest
+// single node and at most total cost plus total edge overhead.
+func TestCriticalPathBounds(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed uint32, n0 uint8) bool {
+		n := int(n0%40) + 2
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)+7), n)
+		_, cp, err := CriticalPath(g, m)
+		if err != nil {
+			return false
+		}
+		var heaviest, total float64
+		for _, nd := range g.Nodes {
+			c := m.NodeCost(nd)
+			total += c
+			if c > heaviest {
+				heaviest = c
+			}
+		}
+		edges := float64(g.Stats().Edges) * m.EdgeCost()
+		return cp >= heaviest-1e-9 && cp <= total+edges+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance-to-end is monotone along edges: dist(pred) >= dist(succ)
+// + edge + cost(pred) - slack 0 ... i.e. dist(p) >= cost(p) + edge + dist(s)
+// is an equality only for the max successor; inequality holds for all.
+func TestDistanceMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed uint32) bool {
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)*13+1), 30)
+		dist, err := DistanceToEnd(g, m)
+		if err != nil {
+			return false
+		}
+		for _, n := range g.Nodes {
+			for _, s := range g.Successors(n) {
+				if dist[n] < m.NodeCost(n)+m.EdgeCost()+dist[s]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

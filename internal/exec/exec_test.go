@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// smallGraph: x -> Relu -> {Sigmoid, Neg} -> Add -> out.
+func smallGraph() (*graph.Graph, Env) {
+	g := graph.New("small")
+	g.Inputs = []graph.ValueInfo{{Name: "x", Shape: tensor.Shape{4}}}
+	g.AddNode("r", "Relu", []string{"x"}, []string{"vr"}, nil)
+	g.AddNode("s", "Sigmoid", []string{"vr"}, []string{"vs"}, nil)
+	g.AddNode("n", "Neg", []string{"vr"}, []string{"vn"}, nil)
+	g.AddNode("a", "Add", []string{"vs", "vn"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	feeds := Env{"x": tensor.FromSlice([]float32{-1, 0, 1, 2})}
+	return g, feeds
+}
+
+func TestRunSequentialSmall(t *testing.T) {
+	g, feeds := smallGraph()
+	out, err := RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out["out"]
+	if got == nil || got.Numel() != 4 {
+		t.Fatalf("bad output: %v", got)
+	}
+	// sigmoid(relu(x)) - relu(x) for x=2: sigmoid(2) - 2.
+	want := float32(1/(1+math.Exp(-2))) - 2
+	if diff := got.Data()[3] - want; diff > 1e-5 || diff < -1e-5 {
+		t.Errorf("out[3] = %v, want %v", got.Data()[3], want)
+	}
+}
+
+func TestRunSequentialMissingFeed(t *testing.T) {
+	g, _ := smallGraph()
+	if _, err := RunSequential(g, Env{}); err == nil {
+		t.Error("missing feed accepted")
+	}
+}
+
+func TestRunSequentialShapeMismatch(t *testing.T) {
+	g, _ := smallGraph()
+	if _, err := RunSequential(g, Env{"x": tensor.Zeros(7)}); err == nil {
+		t.Error("wrong-shape feed accepted")
+	}
+}
+
+func TestRunSequentialUnknownOp(t *testing.T) {
+	g := graph.New("bad")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("z", "NoSuchOp", []string{"x"}, []string{"y"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "y"}}
+	_, err := RunSequential(g, Env{"x": tensor.Zeros(1)})
+	if err == nil || !strings.Contains(err.Error(), "NoSuchOp") {
+		t.Errorf("unknown op not reported: %v", err)
+	}
+}
+
+func TestNewPlanValidatesPartition(t *testing.T) {
+	g, _ := smallGraph()
+	ns := g.Nodes
+	if _, err := NewPlan(g, [][]*graph.Node{{ns[0], ns[1]}, {ns[2]}}); err == nil {
+		t.Error("incomplete lane cover accepted")
+	}
+	if _, err := NewPlan(g, [][]*graph.Node{{ns[0], ns[1], ns[2], ns[3]}, {ns[0]}}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g, feeds := smallGraph()
+	ns := g.Nodes
+	plan, err := NewPlan(g, [][]*graph.Node{{ns[0], ns[1], ns[3]}, {ns[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["out"].Equal(want["out"]) {
+		t.Error("parallel result differs from sequential")
+	}
+}
+
+func TestParallelProfileCountsMessages(t *testing.T) {
+	g, feeds := smallGraph()
+	ns := g.Nodes
+	plan, _ := NewPlan(g, [][]*graph.Node{{ns[0], ns[1], ns[3]}, {ns[2]}})
+	_, prof, err := plan.RunProfiled(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 1 receives vr and sends vn; lane 0 receives vn.
+	if prof.Lanes[1].Recvs != 1 || prof.Lanes[1].Sends != 1 {
+		t.Errorf("lane1 sends/recvs = %d/%d", prof.Lanes[1].Sends, prof.Lanes[1].Recvs)
+	}
+	if prof.Lanes[0].Recvs != 1 {
+		t.Errorf("lane0 recvs = %d", prof.Lanes[0].Recvs)
+	}
+	if prof.Wall <= 0 {
+		t.Error("no wall time recorded")
+	}
+	_ = prof.TotalSlack() // must not panic
+}
+
+func TestParallelErrorPropagatesWithoutDeadlock(t *testing.T) {
+	g := graph.New("failing")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("a", "Relu", []string{"x"}, []string{"va"}, nil)
+	// MatMul on rank-1 input fails at run time.
+	g.AddNode("bad", "MatMul", []string{"va", "va"}, []string{"vb"}, nil)
+	g.AddNode("c", "Relu", []string{"vb"}, []string{"vc"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "vc"}}
+	ns := g.Nodes
+	plan, err := NewPlan(g, [][]*graph.Node{{ns[0], ns[1]}, {ns[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.Run(Env{"x": tensor.Zeros(3)})
+	if err == nil {
+		t.Fatal("kernel failure not propagated")
+	}
+}
+
+func TestNewPlanOrderedRejectsDeadlock(t *testing.T) {
+	// Two lanes each needing the other's later output in their stated
+	// order: a->b in lane0 order [b-dependent first] is impossible within
+	// one lane; craft cross-lane circular wait instead.
+	g := graph.New("dl")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("a", "Relu", []string{"x"}, []string{"va"}, nil)
+	g.AddNode("b", "Relu", []string{"va"}, []string{"vb"}, nil)
+	g.AddNode("c", "Relu", []string{"vb"}, []string{"vc"}, nil)
+	g.AddNode("d", "Relu", []string{"vc"}, []string{"vd"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "vd"}}
+	ns := g.Nodes
+	// Lane0: [c, a] — c waits for b (lane1) which waits for a (lane0,
+	// behind c): deadlock.
+	if _, err := NewPlanOrdered(g, [][]*graph.Node{{ns[2], ns[0]}, {ns[1], ns[3]}}); err == nil {
+		t.Error("deadlocking lane order accepted")
+	}
+	// Feasible order accepted and runs.
+	plan, err := NewPlanOrdered(g, [][]*graph.Node{{ns[0], ns[2]}, {ns[1], ns[3]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Run(Env{"x": tensor.FromSlice([]float32{1})})
+	if err != nil || out["vd"] == nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestSequentialPlanAndSimulate(t *testing.T) {
+	g, _ := smallGraph()
+	m := cost.DefaultModel()
+	sp, err := SequentialPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res.TotalWork {
+		t.Errorf("sequential makespan %v != total work %v", res.Makespan, res.TotalWork)
+	}
+	if res.Speedup() != 1 {
+		t.Errorf("sequential speedup = %v", res.Speedup())
+	}
+}
+
+func TestSimulateParallelBounds(t *testing.T) {
+	g, _ := smallGraph()
+	m := cost.DefaultModel()
+	ns := g.Nodes
+	plan, _ := NewPlan(g, [][]*graph.Node{{ns[0], ns[1], ns[3]}, {ns[2]}})
+	res, err := Simulate(plan, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp, _ := cost.CriticalPath(g, m)
+	if res.Makespan < cp-1e-9 {
+		// Cross-lane edges add overhead, so makespan >= CP without
+		// intra-lane edge costs is not guaranteed exactly; but it must be
+		// at least the heaviest single-lane work.
+		t.Logf("makespan %v below CP %v (edge costs differ)", res.Makespan, cp)
+	}
+	if res.Makespan > res.TotalWork+float64(len(g.Nodes))*m.EdgeCost() {
+		t.Errorf("makespan %v exceeds any sensible bound", res.Makespan)
+	}
+	if len(res.LaneBusy) != 2 {
+		t.Errorf("lane busy = %v", res.LaneBusy)
+	}
+}
+
+func TestMeasureCostsProducesPositiveDurations(t *testing.T) {
+	g, feeds := smallGraph()
+	mm, err := MeasureCosts(g, feeds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.ByName) != len(g.Nodes) {
+		t.Fatalf("measured %d of %d nodes", len(mm.ByName), len(g.Nodes))
+	}
+	for name, d := range mm.ByName {
+		if d <= 0 {
+			t.Errorf("node %s measured %v", name, d)
+		}
+	}
+	if mm.TotalMicros() <= 0 {
+		t.Error("total micros <= 0")
+	}
+	if mm.Edge != 3 {
+		t.Errorf("default edge = %v", mm.Edge)
+	}
+	// Unmeasured nodes fall back to Default.
+	ghost := &graph.Node{Name: "ghost", OpType: "Relu"}
+	if mm.NodeCost(ghost) != mm.Default {
+		t.Error("default cost not applied")
+	}
+}
+
+func TestMeasuredModelSizeAwareEdges(t *testing.T) {
+	g, feeds := smallGraph()
+	mm, err := MeasureCosts(g, feeds, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.PaperEquivalentQueues()
+	r := g.NodeByName("r")
+	s := g.NodeByName("s")
+	withSize := mm.EdgeCostBetween(r, s)
+	if withSize <= mm.Edge {
+		t.Errorf("size-aware edge %v not above base %v", withSize, mm.Edge)
+	}
+	// EdgeCostOf dispatches through the interface.
+	if cost.EdgeCostOf(mm, r, s) != withSize {
+		t.Error("EdgeCostOf did not use EdgeCoster")
+	}
+}
+
+func TestWithIntraOpScaling(t *testing.T) {
+	g, feeds := smallGraph()
+	mm, _ := MeasureCosts(g, feeds, 1, 0)
+	conv := &graph.Node{Name: "conv", OpType: "Conv"}
+	mm.ByName["conv"] = 100
+	base := mm.NodeCost(conv)
+	scaled := WithIntraOp(mm, IntraOpConfig{Threads: 4, Cores: 12}, 2)
+	if got := scaled.NodeCost(conv); got >= base {
+		t.Errorf("intra-op did not speed conv: %v >= %v", got, base)
+	}
+	// Light ops are not scaled.
+	relu := &graph.Node{Name: "r", OpType: "Relu"}
+	light := mm.NodeCost(relu)
+	if got := scaled.NodeCost(relu); got != light {
+		t.Errorf("relu scaled from %v to %v", light, got)
+	}
+	// Oversubscription slows everything.
+	over := WithIntraOp(mm, IntraOpConfig{Threads: 8, Cores: 4}, 4)
+	if got := over.NodeCost(relu); got <= light {
+		t.Errorf("oversubscription not modelled: %v <= %v", got, light)
+	}
+}
+
+// Property: on random DAGs, any 2-way split of the topological order into
+// lanes runs and matches the simulated-progress check; moreover the
+// simulated makespan is between max-lane-work and total work + edges.
+func TestSimulateRandomPlans(t *testing.T) {
+	m := cost.DefaultModel()
+	f := func(seed uint32) bool {
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)+17), 24)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		var a, b []*graph.Node
+		for i, n := range order {
+			if i%2 == 0 {
+				a = append(a, n)
+			} else {
+				b = append(b, n)
+			}
+		}
+		plan, err := NewPlan(g, [][]*graph.Node{a, b})
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(plan, m)
+		if err != nil {
+			return false
+		}
+		maxLane := res.LaneBusy[0]
+		if res.LaneBusy[1] > maxLane {
+			maxLane = res.LaneBusy[1]
+		}
+		edges := float64(g.Stats().Edges) * m.EdgeCost()
+		return res.Makespan >= maxLane-1e-9 && res.Makespan <= res.TotalWork+edges+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Plan is an executable parallel schedule: a partition of the graph's
+// nodes into lanes (clusters), each lane's nodes in a dependency-respecting
+// order. It is produced from a core.Clustering but typed on plain node
+// slices so this package stays independent of the clustering package.
+type Plan struct {
+	Graph *graph.Graph
+	// Lanes lists each cluster's nodes in execution order.
+	Lanes [][]*graph.Node
+	// ChanDepth is the buffer depth of cross-lane channels (default 1;
+	// each channel carries exactly one tensor per run, so 1 suffices to
+	// make sends non-blocking).
+	ChanDepth int
+}
+
+// message is one cross-cluster tensor transfer.
+type message struct {
+	value string
+	t     *tensor.Tensor
+}
+
+// laneStats accumulates the per-lane profile the paper's "profile
+// database" records: busy time computing vs slack time blocked on receives.
+type laneStats struct {
+	Busy  time.Duration
+	Slack time.Duration
+	Sends int
+	Recvs int
+}
+
+// Profile is the execution trace of one parallel run.
+type Profile struct {
+	Lanes []laneStats
+	Wall  time.Duration
+}
+
+// TotalSlack sums blocked-on-receive time across lanes; hyperclustering
+// (Section III-E) exists to fill exactly this.
+func (p *Profile) TotalSlack() time.Duration {
+	var s time.Duration
+	for _, l := range p.Lanes {
+		s += l.Slack
+	}
+	return s
+}
+
+// NewPlan builds a Plan from cluster node lists, reordering each lane into
+// a dependency-respecting order (global topological position) and
+// validating that the lanes partition the graph.
+func NewPlan(g *graph.Graph, lanes [][]*graph.Node) (*Plan, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	seen := map[*graph.Node]bool{}
+	total := 0
+	sorted := make([][]*graph.Node, len(lanes))
+	for i, lane := range lanes {
+		cp := append([]*graph.Node(nil), lane...)
+		insertionSortByPos(cp, pos)
+		sorted[i] = cp
+		for _, n := range cp {
+			if seen[n] {
+				return nil, fmt.Errorf("exec: node %s appears in multiple lanes", n.Name)
+			}
+			seen[n] = true
+			total++
+		}
+	}
+	if total != len(g.Nodes) {
+		return nil, fmt.Errorf("exec: lanes cover %d nodes, graph has %d", total, len(g.Nodes))
+	}
+	return &Plan{Graph: g, Lanes: sorted, ChanDepth: 1}, nil
+}
+
+// NewPlanOrdered builds a Plan that preserves the given lane orders exactly
+// (hyperclustering's sample interleaving is meaningful order), verifying
+// that the lanes partition the graph and that executing each lane in its
+// stated order cannot deadlock across lanes.
+func NewPlanOrdered(g *graph.Graph, lanes [][]*graph.Node) (*Plan, error) {
+	seen := map[*graph.Node]bool{}
+	total := 0
+	for _, lane := range lanes {
+		for _, n := range lane {
+			if seen[n] {
+				return nil, fmt.Errorf("exec: node %s appears in multiple lanes", n.Name)
+			}
+			seen[n] = true
+			total++
+		}
+	}
+	if total != len(g.Nodes) {
+		return nil, fmt.Errorf("exec: lanes cover %d nodes, graph has %d", total, len(g.Nodes))
+	}
+	p := &Plan{Graph: g, Lanes: lanes, ChanDepth: 1}
+	if err := p.checkFeasible(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// checkFeasible runs a zero-cost progress simulation: every lane advances
+// through its order whenever its next node's predecessors have executed.
+// If the system stalls, the executor would deadlock, so the plan is
+// rejected.
+func (p *Plan) checkFeasible() error {
+	done := make(map[*graph.Node]bool, len(p.Graph.Nodes))
+	idx := make([]int, len(p.Lanes))
+	remaining := 0
+	for _, lane := range p.Lanes {
+		remaining += len(lane)
+	}
+	for remaining > 0 {
+		progressed := false
+		for li, lane := range p.Lanes {
+			for idx[li] < len(lane) {
+				n := lane[idx[li]]
+				ready := true
+				for _, pred := range p.Graph.Predecessors(n) {
+					if !done[pred] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					break
+				}
+				done[n] = true
+				idx[li]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for li, lane := range p.Lanes {
+				if idx[li] < len(lane) {
+					stuck = append(stuck, lane[idx[li]].Name)
+					if len(stuck) >= 4 {
+						break
+					}
+				}
+			}
+			return fmt.Errorf("exec: lane order would deadlock at %v", stuck)
+		}
+	}
+	return nil
+}
+
+func insertionSortByPos(ns []*graph.Node, pos map[*graph.Node]int) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && pos[ns[j]] < pos[ns[j-1]]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// Run executes the plan: one goroutine per lane, channels per cross-lane
+// (value, consumer-lane) pair, mirroring the paper's Algorithm 4 runtime of
+// queue.put/queue.get message passing between Python processes. Returns
+// the graph outputs.
+func (p *Plan) Run(feeds Env) (Env, error) {
+	out, _, err := p.RunProfiled(feeds)
+	return out, err
+}
+
+// RunProfiled is Run plus the per-lane busy/slack profile.
+func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
+	start := time.Now()
+	base, err := seedEnv(p.Graph, feeds)
+	if err != nil {
+		return nil, nil, err
+	}
+	laneOf := make(map[*graph.Node]int, len(p.Graph.Nodes))
+	for i, lane := range p.Lanes {
+		for _, n := range lane {
+			laneOf[n] = i
+		}
+	}
+	depth := p.ChanDepth
+	if depth < 1 {
+		depth = 1
+	}
+
+	// One channel per (produced value, consuming lane) pair. The producer
+	// sends once; the consumer receives once and caches it in its local
+	// environment, so multiple local consumers are satisfied.
+	type chanKey struct {
+		value string
+		lane  int
+	}
+	chans := map[chanKey]chan message{}
+	for _, n := range p.Graph.Nodes {
+		prodLane := laneOf[n]
+		for _, outName := range n.Outputs {
+			for _, c := range p.Graph.Consumers(outName) {
+				if cl := laneOf[c]; cl != prodLane {
+					key := chanKey{outName, cl}
+					if chans[key] == nil {
+						chans[key] = make(chan message, depth)
+					}
+				}
+			}
+		}
+	}
+
+	profile := &Profile{Lanes: make([]laneStats, len(p.Lanes))}
+	errs := make([]error, len(p.Lanes))
+	var (
+		outMu   sync.Mutex
+		outVals = make(Env, len(p.Graph.Outputs))
+	)
+	// abort is closed on the first lane failure so blocked receivers in
+	// other lanes unblock instead of deadlocking.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(li int, err error) {
+		errs[li] = err
+		abortOnce.Do(func() { close(abort) })
+	}
+	var wg sync.WaitGroup
+	for li, lane := range p.Lanes {
+		wg.Add(1)
+		go func(li int, lane []*graph.Node) {
+			defer wg.Done()
+			stats := &profile.Lanes[li]
+			// Lane-local environment: shared read-only base + local values.
+			env := make(Env, len(lane)*2)
+			for _, n := range lane {
+				// Receive any remote inputs not yet local.
+				for _, in := range n.Inputs {
+					if _, ok := env[in]; ok {
+						continue
+					}
+					if _, ok := base[in]; ok {
+						env[in] = base[in]
+						continue
+					}
+					prod := p.Graph.Producer(in)
+					if prod == nil || laneOf[prod] == li {
+						continue // produced locally, later error if truly missing
+					}
+					ch := chans[chanKey{in, li}]
+					if ch == nil {
+						fail(li, fmt.Errorf("exec: lane %d: no channel for %q", li, in))
+						return
+					}
+					waitStart := time.Now()
+					select {
+					case msg := <-ch:
+						stats.Slack += time.Since(waitStart)
+						stats.Recvs++
+						env[msg.value] = msg.t
+					case <-abort:
+						return
+					}
+				}
+				busyStart := time.Now()
+				if err := evalNode(p.Graph, n, env); err != nil {
+					fail(li, err)
+					return
+				}
+				stats.Busy += time.Since(busyStart)
+				// Send outputs needed by remote lanes; capture graph outputs.
+				for _, outName := range n.Outputs {
+					sentTo := map[int]bool{}
+					for _, c := range p.Graph.Consumers(outName) {
+						cl := laneOf[c]
+						if cl == li || sentTo[cl] {
+							continue
+						}
+						sentTo[cl] = true
+						chans[chanKey{outName, cl}] <- message{outName, env[outName]}
+						stats.Sends++
+					}
+					if p.Graph.IsGraphOutput(outName) {
+						outMu.Lock()
+						outVals[outName] = env[outName]
+						outMu.Unlock()
+					}
+				}
+			}
+		}(li, lane)
+	}
+	wg.Wait()
+	for li, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: lane %d failed: %w", li, err)
+		}
+	}
+
+	final := make(Env, len(p.Graph.Outputs))
+	for k, v := range outVals {
+		final[k] = v
+	}
+	for _, o := range p.Graph.Outputs {
+		if _, ok := final[o.Name]; !ok {
+			if t, ok := base[o.Name]; ok {
+				final[o.Name] = t // output aliased to an input/initializer
+				continue
+			}
+			return nil, nil, fmt.Errorf("exec: graph output %q was not produced", o.Name)
+		}
+	}
+	profile.Wall = time.Since(start)
+	return final, profile, nil
+}

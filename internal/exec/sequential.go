@@ -1,0 +1,114 @@
+// Package exec runs dataflow graphs: a sequential reference executor, the
+// parallel executor that maps each cluster onto its own goroutine with
+// buffered channels carrying cross-cluster tensor dependences (the Go
+// equivalent of the paper's Python processes and message queues), and a
+// deterministic discrete-event simulator driven by the static cost model
+// for reproducible makespan comparisons.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Env binds value names to tensors.
+type Env map[string]*tensor.Tensor
+
+// RunSequential executes the graph in topological order on the calling
+// goroutine and returns the graph outputs. It is both the correctness
+// reference for the parallel executor and the baseline for every speedup
+// the paper reports.
+func RunSequential(g *graph.Graph, feeds Env) (Env, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	env, err := seedEnv(g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		if err := evalNode(g, n, env); err != nil {
+			return nil, err
+		}
+	}
+	return collectOutputs(g, env)
+}
+
+// seedEnv builds the initial value environment from initializers + feeds.
+func seedEnv(g *graph.Graph, feeds Env) (Env, error) {
+	env := make(Env, len(g.Nodes)*2)
+	for name, t := range g.Initializers {
+		env[name] = t
+	}
+	for _, in := range g.Inputs {
+		t, ok := feeds[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: missing feed for graph input %q", in.Name)
+		}
+		if in.Shape != nil && len(in.Shape) > 0 && !t.Shape().Equal(in.Shape) {
+			return nil, fmt.Errorf("exec: feed %q has shape %v, graph declares %v", in.Name, t.Shape(), in.Shape)
+		}
+		env[in.Name] = t
+	}
+	return env, nil
+}
+
+// evalNode runs one node's kernel against env, storing its outputs.
+func evalNode(g *graph.Graph, n *graph.Node, env Env) error {
+	kernel, err := ops.Lookup(n.OpType)
+	if err != nil {
+		return fmt.Errorf("exec: node %s: %w", n.Name, err)
+	}
+	inputs := make([]*tensor.Tensor, len(n.Inputs))
+	for i, name := range n.Inputs {
+		t, ok := env[name]
+		if !ok {
+			return fmt.Errorf("exec: node %s: input %q not available", n.Name, name)
+		}
+		inputs[i] = t
+	}
+	outs, err := kernel(inputs, n.Attrs)
+	if err != nil {
+		return fmt.Errorf("exec: node %s: %w", n.Name, err)
+	}
+	// Apply any fused activation epilogue (passes.FuseOperators): a chain
+	// of attribute-free unary ops recorded on the node.
+	if chain := n.Attrs.Str("fused_epilogue", ""); chain != "" && len(outs) > 0 {
+		for _, epOp := range strings.Split(chain, "+") {
+			epKernel, err := ops.Lookup(epOp)
+			if err != nil {
+				return fmt.Errorf("exec: node %s epilogue: %w", n.Name, err)
+			}
+			epOuts, err := epKernel(outs[:1], nil)
+			if err != nil {
+				return fmt.Errorf("exec: node %s epilogue %s: %w", n.Name, epOp, err)
+			}
+			outs[0] = epOuts[0]
+		}
+	}
+	if len(outs) < len(n.Outputs) {
+		return fmt.Errorf("exec: node %s: kernel returned %d outputs, graph declares %d",
+			n.Name, len(outs), len(n.Outputs))
+	}
+	for i, name := range n.Outputs {
+		env[name] = outs[i]
+	}
+	return nil
+}
+
+func collectOutputs(g *graph.Graph, env Env) (Env, error) {
+	out := make(Env, len(g.Outputs))
+	for _, o := range g.Outputs {
+		t, ok := env[o.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: graph output %q was not produced", o.Name)
+		}
+		out[o.Name] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, one box per node, labeled
+// "name\nopType". Useful for eyeballing clusterings (pass clusterOf to
+// color nodes by cluster index; nil for monochrome).
+func (g *Graph) DOT(clusterOf map[string]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", sanitizeDotID(g.Name))
+	palette := []string{
+		"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+		"#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+	}
+	for _, n := range g.Nodes {
+		attrs := fmt.Sprintf("label=\"%s\\n%s\"", escapeDot(n.Name), escapeDot(n.OpType))
+		if clusterOf != nil {
+			if c, ok := clusterOf[n.Name]; ok {
+				attrs += fmt.Sprintf(", style=filled, fillcolor=%q", palette[c%len(palette)])
+			}
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name, attrs)
+	}
+	for _, n := range g.Nodes {
+		for _, s := range g.Successors(n) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n.Name, s.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDotID(s string) string {
+	if s == "" {
+		return "G"
+	}
+	return s
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// diamond builds input -> a -> {b, c} -> d.
+func diamond() *Graph {
+	g := New("diamond")
+	g.Inputs = []ValueInfo{{Name: "x"}}
+	g.AddNode("a", "Conv", []string{"x", "w_a"}, []string{"va"}, nil)
+	g.AddNode("b", "Relu", []string{"va"}, []string{"vb"}, nil)
+	g.AddNode("c", "Sigmoid", []string{"va"}, []string{"vc"}, nil)
+	g.AddNode("d", "Add", []string{"vb", "vc"}, []string{"vd"}, nil)
+	g.Outputs = []ValueInfo{{Name: "vd"}}
+	g.AddInitializer("w_a", tensor.Zeros(1))
+	return g
+}
+
+func TestAddNodeAssignsIDs(t *testing.T) {
+	g := diamond()
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestPredecessorsSuccessors(t *testing.T) {
+	g := diamond()
+	a := g.NodeByName("a")
+	d := g.NodeByName("d")
+	if len(g.Predecessors(a)) != 0 {
+		t.Errorf("a has predecessors %v", g.Predecessors(a))
+	}
+	succ := g.Successors(a)
+	if len(succ) != 2 {
+		t.Fatalf("a successors = %v", succ)
+	}
+	if len(g.Predecessors(d)) != 2 || len(g.Successors(d)) != 0 {
+		t.Error("d adjacency wrong")
+	}
+	if g.InDegree(d) != 2 || g.OutDegree(a) != 2 {
+		t.Error("degree helpers wrong")
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	g := diamond()
+	if g.Producer("va") == nil || g.Producer("va").Name != "a" {
+		t.Error("Producer(va) wrong")
+	}
+	if g.Producer("x") != nil {
+		t.Error("graph input has a producer")
+	}
+	if len(g.Consumers("va")) != 2 {
+		t.Errorf("Consumers(va) = %v", g.Consumers("va"))
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Errorf("bad topo order: %v", order)
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New("cyclic")
+	g.Inputs = []ValueInfo{{Name: "x"}}
+	g.AddNode("a", "Relu", []string{"x", "vb"}, []string{"va"}, nil)
+	g.AddNode("b", "Relu", []string{"va"}, []string{"vb"}, nil)
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic graph")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	g := diamond()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g2 := diamond()
+	g2.AddNode("a", "Relu", []string{"vd"}, []string{"vz"}, nil)
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate name not caught: %v", err)
+	}
+	g3 := diamond()
+	g3.AddNode("e", "Relu", []string{"nowhere"}, []string{"ve"}, nil)
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined input not caught: %v", err)
+	}
+	g4 := diamond()
+	g4.AddNode("e", "Relu", []string{"vd"}, []string{"va"}, nil)
+	if err := g4.Validate(); err == nil {
+		t.Error("double-produced value not caught")
+	}
+	g5 := diamond()
+	g5.Outputs = append(g5.Outputs, ValueInfo{Name: "ghost"})
+	if err := g5.Validate(); err == nil {
+		t.Error("unproduced output not caught")
+	}
+	g6 := diamond()
+	g6.AddNode("e", "Relu", []string{"vd"}, []string{"w_a"}, nil)
+	if err := g6.Validate(); err == nil {
+		t.Error("node writing initializer not caught")
+	}
+	g7 := diamond()
+	g7.AddNode("", "Relu", []string{"vd"}, []string{"vz"}, nil)
+	if err := g7.Validate(); err == nil {
+		t.Error("empty node name not caught")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	src := g.Sources()
+	if len(src) != 1 || src[0].Name != "a" {
+		t.Errorf("Sources = %v", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0].Name != "d" {
+		t.Errorf("Sinks = %v", snk)
+	}
+}
+
+func TestReachabilityClosures(t *testing.T) {
+	g := diamond()
+	b := g.NodeByName("b")
+	fw := g.ReachableFrom([]*Node{b})
+	if !fw[b] || !fw[g.NodeByName("d")] || fw[g.NodeByName("c")] {
+		t.Errorf("ReachableFrom(b) wrong: %v", fw)
+	}
+	bw := g.AncestorsOf([]*Node{b})
+	if !bw[b] || !bw[g.NodeByName("a")] || bw[g.NodeByName("d")] {
+		t.Errorf("AncestorsOf(b) wrong: %v", bw)
+	}
+}
+
+func TestRemoveNodes(t *testing.T) {
+	g := diamond()
+	removed := g.RemoveNodes(func(n *Node) bool { return n.Name == "c" })
+	if removed != 1 || len(g.Nodes) != 3 {
+		t.Fatalf("removed=%d nodes=%d", removed, len(g.Nodes))
+	}
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			t.Error("IDs not reindexed after removal")
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.Nodes[0].Name = "mutated"
+	c.AddNode("extra", "Relu", []string{"vd"}, []string{"vx"}, nil)
+	if g.Nodes[0].Name != "a" || len(g.Nodes) != 4 {
+		t.Error("Clone shares node storage")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestValueNamesAndFlags(t *testing.T) {
+	g := diamond()
+	vals := g.ValueNames()
+	want := map[string]bool{"x": true, "va": true, "vb": true, "vc": true, "vd": true, "w_a": true}
+	for _, v := range vals {
+		if !want[v] {
+			t.Errorf("unexpected value %q", v)
+		}
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing values: %v", want)
+	}
+	if !g.IsGraphInput("x") || g.IsGraphInput("va") {
+		t.Error("IsGraphInput wrong")
+	}
+	if !g.IsGraphOutput("vd") || g.IsGraphOutput("va") {
+		t.Error("IsGraphOutput wrong")
+	}
+	if !g.IsInitializer("w_a") || g.IsInitializer("x") {
+		t.Error("IsInitializer wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := diamond()
+	s := g.Stats()
+	if s.Nodes != 4 {
+		t.Errorf("Nodes = %d", s.Nodes)
+	}
+	if s.Edges != 4 { // a->b, a->c, b->d, c->d
+		t.Errorf("Edges = %d", s.Edges)
+	}
+	if s.OpCounts["Conv"] != 1 || s.OpCounts["Relu"] != 1 {
+		t.Errorf("OpCounts = %v", s.OpCounts)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := diamond()
+	dot := g.DOT(map[string]int{"a": 0, "b": 1})
+	for _, frag := range []string{"digraph", `"a" -> "b"`, "fillcolor"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	plain := g.DOT(nil)
+	if strings.Contains(plain, "fillcolor") {
+		t.Error("uncolored DOT contains fills")
+	}
+}
+
+func TestNodeCloneDeep(t *testing.T) {
+	n := &Node{Name: "n", OpType: "Conv", Inputs: []string{"a"}, Outputs: []string{"b"}}
+	c := n.Clone()
+	c.Inputs[0] = "z"
+	if n.Inputs[0] != "a" {
+		t.Error("Node.Clone shares input slice")
+	}
+}
+
+// Property: RandomDAG always validates and topo-sorts completely.
+func TestRandomDAGAlwaysValid(t *testing.T) {
+	f := func(seed uint32, n0 uint8) bool {
+		n := int(n0%60) + 1
+		g := RandomDAG(tensor.NewRNG(uint64(seed)+1), n)
+		if err := g.Validate(); err != nil {
+			t.Logf("invalid: %v", err)
+			return false
+		}
+		order, err := g.TopoSort()
+		return err == nil && len(order) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: topological order respects every edge.
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := RandomDAG(tensor.NewRNG(uint64(seed)*3+1), 40)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[*Node]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, n := range g.Nodes {
+			for _, s := range g.Successors(n) {
+				if pos[n] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

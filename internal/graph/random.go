@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// RandomDAG builds a random layered acyclic dataflow graph with n operator
+// nodes for property-based testing of the clustering and scheduling
+// algorithms (which read only topology and op types, never tensor data).
+// Every node consumes the graph input or outputs of earlier nodes, so the
+// result always passes Validate.
+func RandomDAG(rng *tensor.RNG, n int) *Graph {
+	if n < 1 {
+		n = 1
+	}
+	g := New(fmt.Sprintf("random%d", n))
+	g.Inputs = []ValueInfo{{Name: "input", Shape: tensor.Shape{1}}}
+	opTypes := []string{"Conv", "Relu", "Add", "Concat", "MatMul", "MaxPool", "Sigmoid", "Mul"}
+	values := []string{"input"}
+	for i := 0; i < n; i++ {
+		op := opTypes[rng.Intn(len(opTypes))]
+		nIn := 1
+		if op == "Add" || op == "Concat" || op == "MatMul" || op == "Mul" {
+			nIn = 1 + rng.Intn(2)
+		}
+		if nIn > len(values) {
+			nIn = len(values) // cannot draw more distinct values than exist
+		}
+		ins := make([]string, 0, nIn)
+		seen := map[string]bool{}
+		for len(ins) < nIn {
+			// Bias toward recent values so the graph has long chains as
+			// well as wide fan-out, like real model graphs.
+			var v string
+			if rng.Intn(2) == 0 && len(values) > 4 {
+				v = values[len(values)-1-rng.Intn(4)]
+			} else {
+				v = values[rng.Intn(len(values))]
+			}
+			if !seen[v] {
+				seen[v] = true
+				ins = append(ins, v)
+			}
+		}
+		out := fmt.Sprintf("v%d", i)
+		g.AddNode(fmt.Sprintf("n%d", i), op, ins, []string{out}, nil)
+		values = append(values, out)
+	}
+	// Make every sink a graph output so DCE-style passes keep everything.
+	g.Reindex()
+	for _, s := range g.Sinks() {
+		g.Outputs = append(g.Outputs, ValueInfo{Name: s.Outputs[0]})
+	}
+	if len(g.Outputs) == 0 {
+		g.Outputs = []ValueInfo{{Name: values[len(values)-1]}}
+	}
+	return g
+}

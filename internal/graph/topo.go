@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TopoSort returns the nodes in a topological order (Kahn's algorithm,
+// breaking ties by node ID for determinism) or an error naming a cycle
+// participant when the graph is cyclic.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	g.ensureIndex()
+	indeg := make(map[*Node]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n] = len(g.Predecessors(n))
+	}
+	// Min-heap by ID implemented as a sorted insertion queue; graphs here
+	// are small enough (≤ a few thousand nodes) that O(n log n) suffices.
+	ready := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sortByID(ready)
+	order := make([]*Node, 0, len(g.Nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		newly := []*Node{}
+		for _, s := range g.Successors(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		if len(newly) > 0 {
+			sortByID(newly)
+			ready = mergeByID(ready, newly)
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		var stuck []string
+		for _, n := range g.Nodes {
+			if indeg[n] > 0 {
+				stuck = append(stuck, n.Name)
+				if len(stuck) >= 5 {
+					break
+				}
+			}
+		}
+		return nil, fmt.Errorf("graph %s: cycle detected involving %s", g.Name, strings.Join(stuck, ", "))
+	}
+	return order, nil
+}
+
+func sortByID(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+// mergeByID merges two ID-sorted slices.
+func mergeByID(a, b []*Node) []*Node {
+	out := make([]*Node, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ID <= b[j].ID {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Sources returns nodes with no predecessors, sorted by ID.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(g.Predecessors(n)) == 0 {
+			out = append(out, n)
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+// Sinks returns nodes with no successors, sorted by ID.
+func (g *Graph) Sinks() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(g.Successors(n)) == 0 {
+			out = append(out, n)
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+// ReachableFrom returns the set of nodes reachable (forward) from the given
+// roots, including the roots themselves.
+func (g *Graph) ReachableFrom(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := append([]*Node(nil), roots...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.Successors(n)...)
+	}
+	return seen
+}
+
+// AncestorsOf returns the set of nodes from which the given roots are
+// reachable (backward closure), including the roots themselves.
+func (g *Graph) AncestorsOf(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := append([]*Node(nil), roots...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.Predecessors(n)...)
+	}
+	return seen
+}

@@ -1,0 +1,176 @@
+// Package hyper implements hyperclustering and switched hyperclustering
+// (Section III-E): when inference runs with a small batch size > 1, the
+// per-sample clusters are replicated across the batch and their operations
+// interleaved into "hyperclusters", so a lane that would sit in
+// communication slack waiting for another cluster's tensor works on a
+// different sample instead. Switched hyperclustering additionally rotates
+// which cluster each lane executes per sample, balancing lane loads.
+package hyper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// sampleSuffix tags a value or node name with its batch-sample index.
+func sampleSuffix(name string, s int) string {
+	return fmt.Sprintf("%s#%d", name, s)
+}
+
+// SampleOf recovers the sample index of a replicated node name, or -1.
+func SampleOf(name string) int {
+	i := strings.LastIndexByte(name, '#')
+	if i < 0 {
+		return -1
+	}
+	n := 0
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// ReplicateBatch builds a graph holding `batch` independent copies of g,
+// one per sample. Node, activation and graph input/output names gain a
+// "#s" suffix; initializers (weights) are shared unsuffixed, exactly as a
+// multi-sample inference shares model parameters.
+func ReplicateBatch(g *graph.Graph, batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("hyper: batch must be >= 1, got %d", batch)
+	}
+	out := graph.New(fmt.Sprintf("%s_batch%d", g.Name, batch))
+	for name, t := range g.Initializers {
+		out.AddInitializer(name, t)
+	}
+	rename := func(v string, s int) string {
+		if g.IsInitializer(v) {
+			return v
+		}
+		return sampleSuffix(v, s)
+	}
+	for s := 0; s < batch; s++ {
+		for _, in := range g.Inputs {
+			out.Inputs = append(out.Inputs, graph.ValueInfo{
+				Name: sampleSuffix(in.Name, s), Shape: in.Shape,
+			})
+		}
+		for _, n := range g.Nodes {
+			ins := make([]string, len(n.Inputs))
+			for i, v := range n.Inputs {
+				ins[i] = rename(v, s)
+			}
+			outs := make([]string, len(n.Outputs))
+			for i, v := range n.Outputs {
+				outs[i] = sampleSuffix(v, s)
+			}
+			out.AddNode(sampleSuffix(n.Name, s), n.OpType, ins, outs, n.Attrs)
+		}
+		for _, o := range g.Outputs {
+			out.Outputs = append(out.Outputs, graph.ValueInfo{
+				Name: sampleSuffix(o.Name, s), Shape: o.Shape,
+			})
+		}
+	}
+	out.Reindex()
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("hyper: replicated graph invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Hyperclustering is the result of building hyperclusters: the replicated
+// batch graph plus one node lane per original cluster, each lane holding
+// the cluster's operations for every sample, interleaved round-robin.
+type Hyperclustering struct {
+	Graph *graph.Graph
+	Lanes [][]*graph.Node
+	Batch int
+	// Switched records whether cluster-rotation (switched hyperclustering)
+	// was applied.
+	Switched bool
+}
+
+// Build creates plain hyperclusters from a batch-1 clustering (Fig. 8):
+// lane j executes cluster j's operations for sample 0, 1, …, interleaved
+// operation-by-operation, so a wait for a remote tensor of one sample can
+// be overlapped with compute of another.
+func Build(cl *core.Clustering, batch int) (*Hyperclustering, error) {
+	return build(cl, batch, false)
+}
+
+// BuildSwitched creates switched hyperclusters (Fig. 9): lane j executes
+// cluster (j+s) mod m for sample s, rotating assignments so lane loads
+// equalize when cluster costs are skewed.
+func BuildSwitched(cl *core.Clustering, batch int) (*Hyperclustering, error) {
+	return build(cl, batch, true)
+}
+
+func build(cl *core.Clustering, batch int, switched bool) (*Hyperclustering, error) {
+	bg, err := ReplicateBatch(cl.Graph, batch)
+	if err != nil {
+		return nil, err
+	}
+	m := len(cl.Clusters)
+	if m == 0 {
+		return nil, fmt.Errorf("hyper: empty clustering")
+	}
+	byName := make(map[string]*graph.Node, len(bg.Nodes))
+	for _, n := range bg.Nodes {
+		byName[n.Name] = n
+	}
+	lanes := make([][]*graph.Node, m)
+	for j := 0; j < m; j++ {
+		// Collect each sample's op list for the cluster this lane runs.
+		perSample := make([][]*graph.Node, batch)
+		maxLen := 0
+		for s := 0; s < batch; s++ {
+			cj := j
+			if switched {
+				cj = (j + s) % m
+			}
+			src := cl.Clusters[cj].Nodes
+			lane := make([]*graph.Node, len(src))
+			for i, n := range src {
+				rn := byName[sampleSuffix(n.Name, s)]
+				if rn == nil {
+					return nil, fmt.Errorf("hyper: replicated node %s missing", sampleSuffix(n.Name, s))
+				}
+				lane[i] = rn
+			}
+			perSample[s] = lane
+			if len(lane) > maxLen {
+				maxLen = len(lane)
+			}
+		}
+		// Round-robin interleave across samples.
+		var lane []*graph.Node
+		for i := 0; i < maxLen; i++ {
+			for s := 0; s < batch; s++ {
+				if i < len(perSample[s]) {
+					lane = append(lane, perSample[s][i])
+				}
+			}
+		}
+		lanes[j] = lane
+	}
+	return &Hyperclustering{Graph: bg, Lanes: lanes, Batch: batch, Switched: switched}, nil
+}
+
+// LaneCosts returns the total node cost per lane under the clustering's
+// model — the quantity switched hyperclustering balances (the paper's
+// "5 and 3 operations versus 5 and 2" example).
+func (h *Hyperclustering) LaneCosts(cl *core.Clustering) []float64 {
+	costs := make([]float64, len(h.Lanes))
+	for i, lane := range h.Lanes {
+		for _, n := range lane {
+			costs[i] += cl.Model.NodeCost(n)
+		}
+	}
+	return costs
+}

@@ -1,0 +1,133 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// bertDims bundles BERT's scaled-down hyperparameters.
+type bertDims struct {
+	seq, hidden, heads, ffn, vocab, layers int
+}
+
+func defaultBertDims() bertDims {
+	return bertDims{seq: 16, hidden: 32, heads: 4, ffn: 64, vocab: 128, layers: 12}
+}
+
+// linear adds x·W + bias over the trailing dimension of a rank-3 activation.
+func (b *builder) linear(x val, outF int) val {
+	inF := x.shape[len(x.shape)-1]
+	w := b.param("lw", inF, outF)
+	bias := b.param("lb", outF)
+	mm := b.node("MatMul", []string{x.name, w}, nil)
+	out := b.node("Add", []string{mm, bias}, nil)
+	sh := x.shape.Clone()
+	sh[len(sh)-1] = outF
+	return val{out, sh}
+}
+
+// layerNorm adds LayerNormalization over the trailing dimension.
+func (b *builder) layerNorm(x val) val {
+	f := x.shape[len(x.shape)-1]
+	scale := b.param("ln_s", f)
+	bias := b.param("ln_b", f)
+	out := b.node("LayerNormalization", []string{x.name, scale, bias}, nil)
+	return val{out, x.shape}
+}
+
+// mha adds one multi-headed-attention block, the repeated hanging-off-one-
+// node structure of the paper's Fig. 3: Q, K and V projections fan out of
+// the same input, flow through independent reshape/transpose chains, meet
+// at the score MatMul, and rejoin the residual stream at the output
+// projection.
+func (b *builder) mha(x val, d bertDims, mask string) val {
+	batch := x.shape[0]
+	dh := d.hidden / d.heads
+
+	project := func() val {
+		p := b.linear(x, d.hidden)
+		p = b.reshapeConst(p, []int{batch, d.seq, d.heads, dh}, 8)
+		return b.transpose(p, 0, 2, 1, 3) // [B, heads, seq, dh]
+	}
+	q := project()
+	k := project()
+	v := project()
+
+	kT := b.transpose(k, 0, 1, 3, 2) // [B, heads, dh, seq]
+	scores := val{b.node("MatMul", []string{q.name, kT.name}, nil),
+		tensor.Shape{batch, d.heads, d.seq, d.seq}}
+	scale := b.constScalar("c_scale", float32(math.Sqrt(float64(dh))))
+	scores = val{b.node("Div", []string{scores.name, scale}, nil), scores.shape}
+	scores = val{b.node("Add", []string{scores.name, mask}, nil), scores.shape}
+	probs := val{b.node("Softmax", []string{scores.name}, nil), scores.shape}
+
+	ctx := val{b.node("MatMul", []string{probs.name, v.name}, nil),
+		tensor.Shape{batch, d.heads, d.seq, dh}}
+	ctx = b.transpose(ctx, 0, 2, 1, 3)
+	ctx = b.reshapeConst(ctx, []int{batch, d.seq, d.hidden}, 8)
+
+	out := b.linear(ctx, d.hidden)
+	return b.layerNorm(b.add(out, x))
+}
+
+// transformerLayer is MHA followed by the GELU feed-forward block, each
+// with residual connection and layer norm.
+func (b *builder) transformerLayer(x val, d bertDims, mask string) val {
+	x = b.mha(x, d, mask)
+	// Exporters emit a constant shape chain on the residual stream between
+	// the attention and feed-forward blocks.
+	x = b.constantChain(x, 6)
+	ff := b.linear(x, d.ffn)
+	ff = b.gelu(ff)
+	ff = b.linear(ff, d.hidden)
+	return b.layerNorm(b.add(ff, x))
+}
+
+// BERT builds a BERT-base-style encoder: token+position embeddings, twelve
+// transformer layers, and a pooler+classifier head. Each layer's ONNX
+// export carries the constant shape-computation chains reproduced here.
+// The paper reports 963 nodes and 1.27x parallelism, with the MHA subgraph
+// as the main pruning and clustering opportunity.
+func BERT(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	d := defaultBertDims()
+	b := newBuilder("bert", cfg)
+	ids := b.input("input_ids", cfg.Batch, d.seq)
+
+	// Embeddings: token gather + position add + layer norm.
+	table := b.fresh("emb_table")
+	b.g.AddInitializer(table, b.rng.RandTensor(d.vocab, d.hidden))
+	tok := val{b.node("Gather", []string{table, ids.name}, nil),
+		tensor.Shape{cfg.Batch, d.seq, d.hidden}}
+	posName := b.fresh("emb_pos")
+	b.g.AddInitializer(posName, b.rng.RandTensor(1, d.seq, d.hidden))
+	x := val{b.node("Add", []string{tok.name, posName}, nil), tok.shape}
+	x = b.layerNorm(x)
+	x = b.constantChain(x, 6)
+
+	// Additive attention mask (zeros: fully visible).
+	mask := b.fresh("attn_mask")
+	b.g.AddInitializer(mask, tensor.Zeros(cfg.Batch, 1, 1, d.seq))
+
+	for i := 0; i < d.layers; i++ {
+		x = b.transformerLayer(x, d, mask)
+	}
+
+	// Pooler: first token through a tanh dense layer, then classify.
+	first := b.constVec("c_first", 0)
+	pooled := val{b.node("Gather", []string{x.name, first}, ops.Attrs{"axis": 1}),
+		tensor.Shape{cfg.Batch, 1, d.hidden}}
+	pooled = b.reshapeConst(pooled, []int{cfg.Batch, d.hidden}, 2)
+	pw := b.param("pool_w", d.hidden, d.hidden)
+	pb := b.param("pool_b", d.hidden)
+	pg := b.node("Gemm", []string{pooled.name, pw, pb}, nil)
+	pt := b.node("Tanh", []string{pg}, nil)
+	cw := b.param("cls_w", d.hidden, 2)
+	cb := b.param("cls_b", 2)
+	logits := val{b.node("Gemm", []string{pt, cw, cb}, nil), tensor.Shape{cfg.Batch, 2}}
+	b.output(logits)
+	return b.finish()
+}

@@ -1,0 +1,343 @@
+// Package models programmatically reconstructs the eight evaluation models
+// of the paper — Squeezenet, GoogleNet, Inception V3/V4, Yolo V5, BERT,
+// Retinanet and NASNet — as executable dataflow graphs. The paper extracts
+// these from PyTorch/HuggingFace/ONNX model zoos; offline, we rebuild each
+// architecture from its published block structure so that node counts, op
+// mixes, fan-out patterns and constant subgraphs land in the same regime as
+// Table I, while weights are synthetic (deterministic RNG) and spatial
+// dimensions are scaled down so the real tensor engine can run them.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Config controls model construction.
+type Config struct {
+	// Batch is the leading input dimension (the paper's inference batch,
+	// default 1).
+	Batch int
+	// ImageSize is the spatial input extent for vision models (default 32;
+	// the paper uses 224+ but clustering depends only on topology).
+	ImageSize int
+	// Seed drives synthetic weight generation.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.ImageSize < 8 {
+		c.ImageSize = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xDA5
+	}
+	return c
+}
+
+// builder threads naming, weight generation and activation bookkeeping
+// through a model's construction.
+type builder struct {
+	g    *graph.Graph
+	rng  *tensor.RNG
+	next int
+}
+
+func newBuilder(name string, cfg Config) *builder {
+	return &builder{g: graph.New(name), rng: tensor.NewRNG(cfg.Seed)}
+}
+
+// val is a named activation with its tracked shape.
+type val struct {
+	name  string
+	shape tensor.Shape
+}
+
+func (b *builder) fresh(prefix string) string {
+	b.next++
+	return fmt.Sprintf("%s_%d", prefix, b.next)
+}
+
+// param creates a weight initializer with the given shape.
+func (b *builder) param(prefix string, dims ...int) string {
+	name := b.fresh(prefix)
+	b.g.AddInitializer(name, b.rng.RandTensor(dims...))
+	return name
+}
+
+// constScalar creates a scalar constant initializer.
+func (b *builder) constScalar(prefix string, v float32) string {
+	name := b.fresh(prefix)
+	b.g.AddInitializer(name, tensor.Scalar(v))
+	return name
+}
+
+// constVec creates a rank-1 constant initializer.
+func (b *builder) constVec(prefix string, vals ...float32) string {
+	name := b.fresh(prefix)
+	b.g.AddInitializer(name, tensor.FromSlice(vals))
+	return name
+}
+
+// node appends an operator and returns its first output value name.
+func (b *builder) node(op string, inputs []string, attrs ops.Attrs) string {
+	out := b.fresh("t")
+	b.g.AddNode(b.fresh(op), op, inputs, []string{out}, attrs)
+	return out
+}
+
+// conv adds Conv(+bias) and returns the output val with updated shape.
+func (b *builder) conv(x val, outC, kh, kw, stride, pad int) val {
+	inC := x.shape[1]
+	w := b.param("w", outC, inC, kh, kw)
+	bias := b.param("b", outC)
+	out := b.node("Conv", []string{x.name, w, bias}, ops.Attrs{
+		"kernel_shape": []int{kh, kw},
+		"strides":      []int{stride, stride},
+		"pads":         []int{pad, pad, pad, pad},
+	})
+	oh := (x.shape[2]+2*pad-kh)/stride + 1
+	ow := (x.shape[3]+2*pad-kw)/stride + 1
+	return val{out, tensor.Shape{x.shape[0], outC, oh, ow}}
+}
+
+// convA adds an asymmetric Conv (kh x kw kernel, per-axis padding) + Relu,
+// the factorized 1x7/7x1 pattern of Inception V3/V4.
+func (b *builder) convA(x val, outC, kh, kw, padH, padW int) val {
+	inC := x.shape[1]
+	w := b.param("w", outC, inC, kh, kw)
+	bias := b.param("b", outC)
+	out := b.node("Conv", []string{x.name, w, bias}, ops.Attrs{
+		"kernel_shape": []int{kh, kw},
+		"strides":      []int{1, 1},
+		"pads":         []int{padH, padW, padH, padW},
+	})
+	oh := x.shape[2] + 2*padH - kh + 1
+	ow := x.shape[3] + 2*padW - kw + 1
+	return b.relu(val{out, tensor.Shape{x.shape[0], outC, oh, ow}})
+}
+
+// depthwise adds a grouped Conv with groups == channels.
+func (b *builder) depthwise(x val, kh, kw, stride, pad int) val {
+	c := x.shape[1]
+	w := b.param("wdw", c, 1, kh, kw)
+	out := b.node("Conv", []string{x.name, w}, ops.Attrs{
+		"kernel_shape": []int{kh, kw},
+		"strides":      []int{stride, stride},
+		"pads":         []int{pad, pad, pad, pad},
+		"group":        c,
+	})
+	oh := (x.shape[2]+2*pad-kh)/stride + 1
+	ow := (x.shape[3]+2*pad-kw)/stride + 1
+	return val{out, tensor.Shape{x.shape[0], c, oh, ow}}
+}
+
+// bn adds inference BatchNormalization.
+func (b *builder) bn(x val) val {
+	c := x.shape[1]
+	scale := b.param("bn_s", c)
+	bias := b.param("bn_b", c)
+	mean := b.fresh("bn_m")
+	b.g.AddInitializer(mean, tensor.Zeros(c))
+	variance := b.fresh("bn_v")
+	b.g.AddInitializer(variance, tensor.Full(1, c))
+	out := b.node("BatchNormalization", []string{x.name, scale, bias, mean, variance}, nil)
+	return val{out, x.shape}
+}
+
+// relu adds a Relu.
+func (b *builder) relu(x val) val {
+	return val{b.node("Relu", []string{x.name}, nil), x.shape}
+}
+
+// convRelu is the ubiquitous Conv→Relu pair.
+func (b *builder) convRelu(x val, outC, k, stride, pad int) val {
+	return b.relu(b.conv(x, outC, k, k, stride, pad))
+}
+
+// convBNRelu is the Conv→BatchNorm→Relu triple used by modern backbones.
+func (b *builder) convBNRelu(x val, outC, k, stride, pad int) val {
+	return b.relu(b.bn(b.conv(x, outC, k, k, stride, pad)))
+}
+
+// maxPool adds MaxPool.
+func (b *builder) maxPool(x val, k, stride, pad int) val {
+	out := b.node("MaxPool", []string{x.name}, ops.Attrs{
+		"kernel_shape": []int{k, k},
+		"strides":      []int{stride, stride},
+		"pads":         []int{pad, pad, pad, pad},
+	})
+	oh := (x.shape[2]+2*pad-k)/stride + 1
+	ow := (x.shape[3]+2*pad-k)/stride + 1
+	return val{out, tensor.Shape{x.shape[0], x.shape[1], oh, ow}}
+}
+
+// avgPool adds AveragePool.
+func (b *builder) avgPool(x val, k, stride, pad int) val {
+	out := b.node("AveragePool", []string{x.name}, ops.Attrs{
+		"kernel_shape": []int{k, k},
+		"strides":      []int{stride, stride},
+		"pads":         []int{pad, pad, pad, pad},
+	})
+	oh := (x.shape[2]+2*pad-k)/stride + 1
+	ow := (x.shape[3]+2*pad-k)/stride + 1
+	return val{out, tensor.Shape{x.shape[0], x.shape[1], oh, ow}}
+}
+
+// globalAvgPool reduces spatial dims to 1x1.
+func (b *builder) globalAvgPool(x val) val {
+	out := b.node("GlobalAveragePool", []string{x.name}, nil)
+	return val{out, tensor.Shape{x.shape[0], x.shape[1], 1, 1}}
+}
+
+// concat joins along the channel axis.
+func (b *builder) concat(xs ...val) val {
+	names := make([]string, len(xs))
+	shapes := make([]tensor.Shape, len(xs))
+	for i, x := range xs {
+		names[i] = x.name
+		shapes[i] = x.shape
+	}
+	out := b.node("Concat", names, ops.Attrs{"axis": 1})
+	sh, err := tensor.Concat(1, shapes...)
+	if err != nil {
+		panic(fmt.Sprintf("models: bad concat in %s: %v", b.g.Name, err))
+	}
+	return val{out, sh}
+}
+
+// concatAxis joins along an arbitrary axis.
+func (b *builder) concatAxis(axis int, xs ...val) val {
+	names := make([]string, len(xs))
+	shapes := make([]tensor.Shape, len(xs))
+	for i, x := range xs {
+		names[i] = x.name
+		shapes[i] = x.shape
+	}
+	out := b.node("Concat", names, ops.Attrs{"axis": axis})
+	sh, err := tensor.Concat(axis, shapes...)
+	if err != nil {
+		panic(fmt.Sprintf("models: bad concat in %s: %v", b.g.Name, err))
+	}
+	return val{out, sh}
+}
+
+// add joins two same-shape activations.
+func (b *builder) add(x, y val) val {
+	return val{b.node("Add", []string{x.name, y.name}, nil), x.shape}
+}
+
+// resize upsamples spatially by 2x (nearest).
+func (b *builder) resize2x(x val) val {
+	out := b.node("Resize", []string{x.name}, ops.Attrs{"scale_h": 2, "scale_w": 2})
+	return val{out, tensor.Shape{x.shape[0], x.shape[1], x.shape[2] * 2, x.shape[3] * 2}}
+}
+
+// sigmoid adds a Sigmoid.
+func (b *builder) sigmoid(x val) val {
+	return val{b.node("Sigmoid", []string{x.name}, nil), x.shape}
+}
+
+// leakyRelu adds a LeakyRelu.
+func (b *builder) leakyRelu(x val) val {
+	return val{b.node("LeakyRelu", []string{x.name}, ops.Attrs{"alpha": 0.1}), x.shape}
+}
+
+// flatten collapses everything after the batch dimension.
+func (b *builder) flatten(x val) val {
+	out := b.node("Flatten", []string{x.name}, nil)
+	return val{out, tensor.Shape{x.shape[0], x.shape.Numel() / x.shape[0]}}
+}
+
+// flattenFC adds Flatten→Gemm, the standard classifier head.
+func (b *builder) flattenFC(x val, classes int) val {
+	flat := b.node("Flatten", []string{x.name}, nil)
+	features := x.shape.Numel() / x.shape[0]
+	w := b.param("fc_w", features, classes)
+	bias := b.param("fc_b", classes)
+	out := b.node("Gemm", []string{flat, w, bias}, nil)
+	return val{out, tensor.Shape{x.shape[0], classes}}
+}
+
+// input declares the graph input.
+func (b *builder) input(name string, dims ...int) val {
+	sh := tensor.NewShape(dims...)
+	b.g.Inputs = append(b.g.Inputs, graph.ValueInfo{Name: name, Shape: sh})
+	return val{name, sh}
+}
+
+// output declares a graph output.
+func (b *builder) output(x val) {
+	b.g.Outputs = append(b.g.Outputs, graph.ValueInfo{Name: x.name, Shape: x.shape})
+}
+
+// finish validates and returns the built graph.
+func (b *builder) finish() *graph.Graph {
+	b.g.Reindex()
+	if err := b.g.Validate(); err != nil {
+		panic(fmt.Sprintf("models: built invalid graph %s: %v", b.g.Name, err))
+	}
+	return b.g
+}
+
+// reshapeConst appends a Reshape whose target shape arrives through a chain
+// of `links` constant arithmetic nodes rooted at a Constant, reproducing the
+// shape-computation subgraphs ONNX exporters leave in Yolo/BERT/NASNet
+// graphs (the paper prunes these with constant propagation + DCE via
+// onnxruntime). With links == 0 the shape feeds the Reshape directly.
+func (b *builder) reshapeConst(x val, dims []int, links int) val {
+	vals := make([]float32, len(dims))
+	for i, d := range dims {
+		vals[i] = float32(d)
+	}
+	cur := b.node("Constant", nil, ops.Attrs{"value": vals, "shape": []int{len(vals)}})
+	one := b.constVec("c_one", 1)
+	zero := b.constVec("c_zero", 0)
+	for i := 0; i < links; i++ {
+		if i%2 == 0 {
+			cur = b.node("Mul", []string{cur, one}, nil)
+		} else {
+			cur = b.node("Add", []string{cur, zero}, nil)
+		}
+	}
+	out := b.node("Reshape", []string{x.name, cur}, nil)
+	sh := tensor.NewShape(dims...)
+	return val{out, sh}
+}
+
+// constantChain is an identity reshape through a constant chain: pure DCE
+// fodder that never changes results when folded away.
+func (b *builder) constantChain(x val, links int) val {
+	return b.reshapeConst(x, x.shape, links)
+}
+
+// transpose adds a Transpose with the given permutation.
+func (b *builder) transpose(x val, perm ...int) val {
+	out := b.node("Transpose", []string{x.name}, ops.Attrs{"perm": append([]int(nil), perm...)})
+	sh := make(tensor.Shape, len(perm))
+	for i, p := range perm {
+		sh[i] = x.shape[p]
+	}
+	return val{out, sh}
+}
+
+// geluChain appends the erf-based GELU decomposition ONNX exporters emit:
+// 0.5 * x * (1 + erf(x / sqrt(2))).
+func (b *builder) gelu(x val) val {
+	sqrt2 := b.constScalar("c_sqrt2", float32(math.Sqrt2))
+	one := b.constScalar("c_1", 1)
+	half := b.constScalar("c_half", 0.5)
+	d := b.node("Div", []string{x.name, sqrt2}, nil)
+	e := b.node("Erf", []string{d}, nil)
+	a := b.node("Add", []string{e, one}, nil)
+	m := b.node("Mul", []string{x.name, a}, nil)
+	out := b.node("Mul", []string{m, half}, nil)
+	return val{out, x.shape}
+}

@@ -1,0 +1,53 @@
+package models
+
+import "repro/internal/graph"
+
+// inceptionV1 adds a GoogLeNet inception module: four parallel branches —
+// 1x1, 1x1→3x3, 1x1→5x5 and maxpool→1x1 — concatenated along channels.
+func (b *builder) inceptionV1(x val, c1, c3r, c3, c5r, c5, cp int) val {
+	br1 := b.convRelu(x, c1, 1, 1, 0)
+	br2 := b.convRelu(b.convRelu(x, c3r, 1, 1, 0), c3, 3, 1, 1)
+	br3 := b.convRelu(b.convRelu(x, c5r, 1, 1, 0), c5, 5, 1, 2)
+	pool := b.maxPool(x, 3, 1, 1)
+	br4 := b.convRelu(pool, cp, 1, 1, 0)
+	return b.concat(br1, br2, br3, br4)
+}
+
+// Googlenet builds GoogLeNet (Inception V1): a convolutional stem followed
+// by nine inception modules with interleaved max-pools and a global-average
+// classifier. The paper reports 153 nodes and 1.4x potential parallelism —
+// the four-way module fan-out is the parallelism source.
+func Googlenet(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("googlenet", cfg)
+	x := b.input("input", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem: 7x7/2 → pool → 1x1 → 3x3 → pool.
+	x = b.convRelu(x, 16, 7, 2, 3)
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.convRelu(x, 16, 1, 1, 0)
+	x = b.convRelu(x, 32, 3, 1, 1)
+	x = b.maxPool(x, 3, 2, 1)
+
+	// Inception 3a, 3b.
+	x = b.inceptionV1(x, 8, 8, 16, 2, 4, 4)
+	x = b.inceptionV1(x, 16, 16, 24, 4, 8, 8)
+	x = b.maxPool(x, 3, 2, 1)
+
+	// Inception 4a..4e.
+	x = b.inceptionV1(x, 16, 8, 16, 2, 8, 8)
+	x = b.inceptionV1(x, 16, 8, 16, 2, 8, 8)
+	x = b.inceptionV1(x, 16, 8, 16, 2, 8, 8)
+	x = b.inceptionV1(x, 16, 8, 16, 2, 8, 8)
+	x = b.inceptionV1(x, 24, 16, 32, 4, 16, 16)
+	x = b.maxPool(x, 3, 2, 1)
+
+	// Inception 5a, 5b.
+	x = b.inceptionV1(x, 24, 16, 32, 4, 16, 16)
+	x = b.inceptionV1(x, 32, 16, 32, 4, 16, 16)
+
+	x = b.globalAvgPool(x)
+	x = b.flattenFC(x, 10)
+	b.output(x)
+	return b.finish()
+}

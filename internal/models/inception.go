@@ -1,0 +1,144 @@
+package models
+
+import "repro/internal/graph"
+
+// inceptionA: 1x1, 1x1→5x5, 1x1→3x3→3x3 and avgpool→1x1 branches.
+func (b *builder) inceptionA(x val, pool int) val {
+	br1 := b.convRelu(x, 16, 1, 1, 0)
+	br2 := b.convRelu(b.convRelu(x, 8, 1, 1, 0), 16, 5, 1, 2)
+	br3 := b.convRelu(b.convRelu(b.convRelu(x, 8, 1, 1, 0), 16, 3, 1, 1), 16, 3, 1, 1)
+	br4 := b.convRelu(b.avgPool(x, 3, 1, 1), pool, 1, 1, 0)
+	return b.concat(br1, br2, br3, br4)
+}
+
+// reductionA: stride-2 3x3, 1x1→3x3→3x3/2 and maxpool branches.
+func (b *builder) reductionA(x val) val {
+	br1 := b.convRelu(x, 24, 3, 2, 1)
+	br2 := b.convRelu(b.convRelu(b.convRelu(x, 8, 1, 1, 0), 16, 3, 1, 1), 24, 3, 2, 1)
+	br3 := b.maxPool(x, 3, 2, 1)
+	return b.concat(br1, br2, br3)
+}
+
+// inceptionB: the 7x7-factorized module — 1x1, 1x1→1x7→7x1, a double
+// 7x7 branch, and avgpool→1x1.
+func (b *builder) inceptionB(x val) val {
+	br1 := b.convRelu(x, 16, 1, 1, 0)
+	br2 := b.convA(b.convA(b.convRelu(x, 8, 1, 1, 0), 8, 1, 7, 0, 3), 16, 7, 1, 3, 0)
+	br3 := b.convA(b.convA(b.convA(b.convA(b.convRelu(x, 8, 1, 1, 0),
+		8, 7, 1, 3, 0), 8, 1, 7, 0, 3), 8, 7, 1, 3, 0), 16, 1, 7, 0, 3)
+	br4 := b.convRelu(b.avgPool(x, 3, 1, 1), 16, 1, 1, 0)
+	return b.concat(br1, br2, br3, br4)
+}
+
+// reductionB: 1x1→3x3/2, 1x1→1x7→7x1→3x3/2 and maxpool branches.
+func (b *builder) reductionB(x val) val {
+	br1 := b.convRelu(b.convRelu(x, 8, 1, 1, 0), 16, 3, 2, 1)
+	br2 := b.convRelu(b.convA(b.convA(b.convRelu(x, 8, 1, 1, 0),
+		8, 1, 7, 0, 3), 8, 7, 1, 3, 0), 16, 3, 2, 1)
+	br3 := b.maxPool(x, 3, 2, 1)
+	return b.concat(br1, br2, br3)
+}
+
+// inceptionC: the widest module — branches that themselves split into
+// parallel 1x3 and 3x1 halves before concatenation.
+func (b *builder) inceptionC(x val) val {
+	br1 := b.convRelu(x, 16, 1, 1, 0)
+
+	s2 := b.convRelu(x, 16, 1, 1, 0)
+	br2a := b.convA(s2, 8, 1, 3, 0, 1)
+	br2b := b.convA(s2, 8, 3, 1, 1, 0)
+	br2 := b.concat(br2a, br2b)
+
+	s3 := b.convRelu(b.convRelu(x, 16, 1, 1, 0), 16, 3, 1, 1)
+	br3a := b.convA(s3, 8, 1, 3, 0, 1)
+	br3b := b.convA(s3, 8, 3, 1, 1, 0)
+	br3 := b.concat(br3a, br3b)
+
+	br4 := b.convRelu(b.avgPool(x, 3, 1, 1), 16, 1, 1, 0)
+	return b.concat(br1, br2, br3, br4)
+}
+
+// InceptionV3 builds Inception V3: a convolutional stem, three A modules,
+// a reduction, four factorized-7x7 B modules, a reduction and two split-
+// branch C modules. The paper reports 238 nodes and 1.37x parallelism, and
+// uses this model to motivate cloning (Fig. 7): some parallel paths have
+// very low computational intensity.
+func InceptionV3(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("inception_v3", cfg)
+	x := b.input("input", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem: three 3x3 convs, pool, 1x1, 3x3, pool.
+	x = b.convRelu(x, 8, 3, 2, 1)
+	x = b.convRelu(x, 8, 3, 1, 1)
+	x = b.convRelu(x, 16, 3, 1, 1)
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.convRelu(x, 16, 1, 1, 0)
+	x = b.convRelu(x, 32, 3, 1, 1)
+	x = b.maxPool(x, 3, 2, 1)
+
+	x = b.inceptionA(x, 8)
+	x = b.inceptionA(x, 16)
+	x = b.inceptionA(x, 16)
+	x = b.reductionA(x)
+	x = b.inceptionB(x)
+	x = b.inceptionB(x)
+	x = b.inceptionB(x)
+	x = b.inceptionB(x)
+	x = b.reductionB(x)
+	x = b.inceptionC(x)
+	x = b.inceptionC(x)
+
+	x = b.globalAvgPool(x)
+	x = b.flattenFC(x, 10)
+	b.output(x)
+	return b.finish()
+}
+
+// stemV4 is Inception V4's branching stem: it forks into parallel conv and
+// pool paths twice, concatenating each time.
+func (b *builder) stemV4(x val) val {
+	x = b.convRelu(x, 8, 3, 2, 1)
+	x = b.convRelu(x, 8, 3, 1, 1)
+	x = b.convRelu(x, 16, 3, 1, 1)
+	// Fork 1: maxpool vs stride-2 conv.
+	p1 := b.maxPool(x, 3, 2, 1)
+	c1 := b.convRelu(x, 16, 3, 2, 1)
+	x = b.concat(p1, c1)
+	// Fork 2: two conv chains of different depth.
+	a := b.convRelu(b.convRelu(x, 16, 1, 1, 0), 16, 3, 1, 1)
+	bb := b.convA(b.convA(b.convRelu(x, 16, 1, 1, 0), 16, 1, 7, 0, 3), 16, 7, 1, 3, 0)
+	bb = b.convRelu(bb, 16, 3, 1, 1)
+	x = b.concat(a, bb)
+	// Fork 3: conv vs pool.
+	c3 := b.convRelu(x, 32, 3, 2, 1)
+	p3 := b.maxPool(x, 3, 2, 1)
+	return b.concat(c3, p3)
+}
+
+// InceptionV4 builds the deeper Inception V4: branching stem, four A
+// modules, reduction, seven B modules, reduction, three C modules.
+// The paper reports 339 nodes and 1.32x parallelism.
+func InceptionV4(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("inception_v4", cfg)
+	x := b.input("input", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	x = b.stemV4(x)
+	for i := 0; i < 4; i++ {
+		x = b.inceptionA(x, 16)
+	}
+	x = b.reductionA(x)
+	for i := 0; i < 7; i++ {
+		x = b.inceptionB(x)
+	}
+	x = b.reductionB(x)
+	for i := 0; i < 3; i++ {
+		x = b.inceptionC(x)
+	}
+
+	x = b.globalAvgPool(x)
+	x = b.flattenFC(x, 10)
+	b.output(x)
+	return b.finish()
+}

@@ -1,0 +1,105 @@
+package models
+
+import "repro/internal/graph"
+
+// sepConv is NASNet's separable convolution, applied twice as in the
+// reference architecture: (relu → depthwise KxK → pointwise 1x1 → bn) x2.
+func (b *builder) sepConv(x val, outC, k, stride int) val {
+	pad := k / 2
+	y := b.relu(x)
+	y = b.depthwise(y, k, k, stride, pad)
+	y = b.conv(y, outC, 1, 1, 1, 0)
+	y = b.bn(y)
+	y = b.relu(y)
+	y = b.depthwise(y, k, k, 1, pad)
+	y = b.conv(y, outC, 1, 1, 1, 0)
+	return b.bn(y)
+}
+
+// fit projects a hidden state to the target channel count and spatial
+// stride so two cell inputs can be combined.
+func (b *builder) fit(x val, outC, stride int) val {
+	if x.shape[1] == outC && stride == 1 {
+		return x
+	}
+	return b.relu(b.bn(b.conv(x, outC, 1, 1, stride, 0)))
+}
+
+// nasnetNormalCell is a NASNet-A normal cell: five blocks, each combining
+// two hidden states through separable convs, average pools or identities,
+// all mutually independent — the source of NASNet's huge fan-out and its
+// 3.7x potential parallelism.
+func (b *builder) nasnetNormalCell(prev, prevPrev val, c int) val {
+	h0 := b.fit(prev, c, 1)
+	h1 := b.fit(prevPrev, c, 1)
+	if h1.shape[2] != h0.shape[2] {
+		h1 = b.fit2x(h1, c)
+	}
+
+	b1 := b.add(b.sepConv(h0, c, 3, 1), h0)
+	b2 := b.add(b.sepConv(h1, c, 3, 1), b.sepConv(h0, c, 5, 1))
+	b3 := b.add(b.avgPool(h0, 3, 1, 1), h1)
+	b4 := b.add(b.avgPool(h1, 3, 1, 1), b.avgPool(h1, 3, 1, 1))
+	b5 := b.add(b.sepConv(h1, c, 5, 1), b.sepConv(h1, c, 3, 1))
+	return b.concat(b1, b2, b3, b4, b5)
+}
+
+// nasnetReductionCell halves the spatial extent while combining states.
+func (b *builder) nasnetReductionCell(prev, prevPrev val, c int) val {
+	h0 := b.fit(prev, c, 1)
+	h1 := b.fit(prevPrev, c, 1)
+	if h1.shape[2] != h0.shape[2] {
+		h1 = b.fit2x(h1, c)
+	}
+
+	r1 := b.add(b.sepConv(h0, c, 5, 2), b.sepConv(h1, c, 7, 2))
+	r2 := b.add(b.maxPool(h0, 3, 2, 1), b.sepConv(h1, c, 7, 2))
+	r3 := b.add(b.avgPool(h0, 3, 2, 1), b.sepConv(h1, c, 5, 2))
+	r4 := b.add(b.sepConv(r1, c, 3, 1), b.maxPool(h0, 3, 2, 1))
+	r5 := b.add(b.avgPool(r1, 3, 1, 1), r2)
+	return b.concat(r2, r3, r4, r5)
+}
+
+// fit2x halves spatial extent via a stride-2 projection.
+func (b *builder) fit2x(x val, outC int) val {
+	return b.relu(b.bn(b.conv(x, outC, 1, 1, 2, 0)))
+}
+
+// NASNet builds a NASNet-A-style network: a conv stem followed by three
+// stacks of normal cells separated by reduction cells, where every cell
+// consumes the two previous cell outputs (skip connections). The graph is
+// the biggest and most parallel in the evaluation — the paper reports 1426
+// nodes, 3.7x potential parallelism, 244 linear clusters before merging and
+// heavy DCE opportunity (Tables I-III); constant chains from the exporter
+// are attached per cell.
+func NASNet(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("nasnet", cfg)
+	x := b.input("input", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	stem := b.relu(b.bn(b.conv(x, 8, 3, 3, 2, 1)))
+	prevPrev, prev := stem, stem
+
+	const cellsPerStack = 6
+	c := 8
+	for stack := 0; stack < 3; stack++ {
+		for i := 0; i < cellsPerStack; i++ {
+			out := b.nasnetNormalCell(prev, prevPrev, c)
+			// Exporter constant chain per cell: independent linear paths
+			// that LC turns into their own clusters until DCE removes them.
+			out = b.constantChain(out, 10)
+			prevPrev, prev = prev, out
+		}
+		if stack < 2 {
+			out := b.nasnetReductionCell(prev, prevPrev, c*2)
+			prevPrev, prev = prev, out
+			c *= 2
+		}
+	}
+
+	y := b.relu(prev)
+	y = b.globalAvgPool(y)
+	y = b.flattenFC(y, 10)
+	b.output(y)
+	return b.finish()
+}

@@ -1,0 +1,42 @@
+package models
+
+import "repro/internal/graph"
+
+// fire adds a SqueezeNet fire module: a 1x1 squeeze convolution followed by
+// parallel 1x1 and 3x3 expand convolutions whose outputs are concatenated.
+// This is exactly the two-parallel-paths structure of the paper's Fig. 1.
+func (b *builder) fire(x val, squeeze, expand int) val {
+	s := b.convRelu(x, squeeze, 1, 1, 0)
+	e1 := b.convRelu(s, expand, 1, 1, 0)
+	e3 := b.convRelu(s, expand, 3, 1, 1)
+	return b.concat(e1, e3)
+}
+
+// Squeezenet builds SqueezeNet v1.1: conv stem, eight fire modules with
+// interleaved max-pools, and a convolutional classifier head. The paper
+// reports 66 nodes and a potential parallelism of 0.86x (a long dependency
+// chain with only short side paths).
+func Squeezenet(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("squeezenet", cfg)
+	x := b.input("input", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	x = b.convRelu(x, 16, 3, 2, 1)
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.fire(x, 4, 8)
+	x = b.fire(x, 4, 8)
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.fire(x, 8, 16)
+	x = b.fire(x, 8, 16)
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.fire(x, 12, 24)
+	x = b.fire(x, 12, 24)
+	x = b.fire(x, 16, 32)
+	x = b.fire(x, 16, 32)
+
+	x = b.convRelu(x, 10, 1, 1, 0) // class conv
+	x = b.globalAvgPool(x)
+	x = b.flatten(x)
+	b.output(x)
+	return b.finish()
+}

@@ -1,0 +1,139 @@
+package models
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// convBNLeaky is Yolo's Conv→BatchNorm→LeakyRelu block.
+func (b *builder) convBNLeaky(x val, outC, k, stride, pad int) val {
+	return b.leakyRelu(b.bn(b.conv(x, outC, k, k, stride, pad)))
+}
+
+// c3 is Yolo V5's CSP bottleneck block: two parallel 1x1 projections, a
+// stack of residual bottlenecks on one of them, concatenation and a fusing
+// 1x1 convolution.
+func (b *builder) c3(x val, outC, n int, shortcut bool) val {
+	half := outC / 2
+	if half < 2 {
+		half = 2
+	}
+	cv1 := b.convBNLeaky(x, half, 1, 1, 0)
+	cv2 := b.convBNLeaky(x, half, 1, 1, 0)
+	cur := cv1
+	for i := 0; i < n; i++ {
+		y := b.convBNLeaky(cur, half, 1, 1, 0)
+		y = b.convBNLeaky(y, half, 3, 1, 1)
+		if shortcut {
+			cur = b.add(cur, y)
+		} else {
+			cur = y
+		}
+	}
+	return b.convBNLeaky(b.concat(cur, cv2), outC, 1, 1, 0)
+}
+
+// sppf is the spatial-pyramid-pooling-fast block: three chained max-pools
+// whose outputs are concatenated with the input projection.
+func (b *builder) sppf(x val, outC int) val {
+	half := outC / 2
+	cv1 := b.convBNLeaky(x, half, 1, 1, 0)
+	p1 := b.maxPool(cv1, 5, 1, 2)
+	p2 := b.maxPool(p1, 5, 1, 2)
+	p3 := b.maxPool(p2, 5, 1, 2)
+	return b.convBNLeaky(b.concat(cv1, p1, p2, p3), outC, 1, 1, 0)
+}
+
+// anchorGrid builds the constant anchor/grid subgraph real Yolo exports
+// carry per detection head: a Constant grid tensor pushed through a chain
+// of constant arithmetic, finally combined with the head activations. It
+// is heavy, fully parallel to the conv path, and entirely foldable — the
+// main reason constant propagation + DCE lifts Yolo from a slowdown to a
+// speedup (paper Table VI).
+func (b *builder) anchorGrid(x val, links int) val {
+	vals := make([]float32, x.shape.Numel())
+	for i := range vals {
+		vals[i] = 1
+	}
+	cur := b.node("Constant", nil, ops.Attrs{"value": vals, "shape": []int(x.shape)})
+	two := b.constScalar("c_two", 2)
+	half := b.constScalar("c_half", 0.5)
+	for i := 0; i < links; i++ {
+		if i%2 == 0 {
+			cur = b.node("Mul", []string{cur, two}, nil)
+		} else {
+			cur = b.node("Mul", []string{cur, half}, nil)
+		}
+	}
+	return val{b.node("Mul", []string{x.name, cur}, nil), x.shape}
+}
+
+// yoloHead is one detection head: two 3x3 convs, a 1x1 conv to anchor
+// outputs, sigmoid, the constant anchor-grid multiply, and the exporter's
+// reshape through a constant shape chain.
+func (b *builder) yoloHead(x val, anchors, attrsPer int) val {
+	y := b.convBNLeaky(x, x.shape[1], 3, 1, 1)
+	y = b.convBNLeaky(y, x.shape[1], 3, 1, 1)
+	out := b.conv(y, anchors*attrsPer, 1, 1, 1, 0)
+	sig := b.sigmoid(out)
+	sig = b.anchorGrid(sig, 24)
+	n := sig.shape[0]
+	cells := sig.shape[2] * sig.shape[3]
+	return b.reshapeConst(sig, []int{n, anchors, attrsPer, cells}, 6)
+}
+
+// YoloV5 builds the YOLO v5 detector: CSP backbone with C3 blocks and
+// SPPF, a PAN feature-pyramid neck with two up- and two down-sampling
+// paths, and three detection heads. ONNX exports of Yolo carry substantial
+// constant shape-computation subgraphs, reproduced here, which constant
+// propagation + DCE prune (paper Fig. 6, Tables III and VI). The paper
+// reports 280 nodes and 1.18x parallelism.
+func YoloV5(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("yolo_v5", cfg)
+	// Five stride-2 levels plus the neck's 2x upsampling round trip need
+	// the input extent to be a multiple of 32.
+	size := (cfg.ImageSize + 31) / 32 * 32
+	x := b.input("input", cfg.Batch, 3, size, size)
+
+	// Backbone.
+	x = b.convBNLeaky(x, 8, 6, 2, 2) // stem
+	x = b.convBNLeaky(x, 16, 3, 2, 1)
+	x = b.c3(x, 16, 1, true)
+	x = b.convBNLeaky(x, 32, 3, 2, 1)
+	p3 := b.c3(x, 32, 2, true)
+	x = b.convBNLeaky(p3, 32, 3, 2, 1)
+	p4 := b.c3(x, 32, 3, true)
+	x = b.convBNLeaky(p4, 32, 3, 2, 1)
+	x = b.c3(x, 32, 1, true)
+	p5 := b.sppf(x, 32)
+
+	// Exporter shape chains on the backbone outputs (DCE fodder).
+	p5 = b.constantChain(p5, 8)
+
+	// Neck: top-down (FPN) then bottom-up (PAN).
+	cv5 := b.convBNLeaky(p5, 16, 1, 1, 0)
+	up5 := b.resize2x(cv5)
+	f4 := b.c3(b.concat(up5, p4), 32, 1, false)
+	cv4 := b.convBNLeaky(f4, 16, 1, 1, 0)
+	up4 := b.resize2x(cv4)
+	outSmall := b.c3(b.concat(up4, p3), 32, 1, false)
+
+	down3 := b.convBNLeaky(outSmall, 16, 3, 2, 1)
+	outMedium := b.c3(b.concat(down3, cv4), 32, 1, false)
+	down4 := b.convBNLeaky(outMedium, 16, 3, 2, 1)
+	outLarge := b.c3(b.concat(down4, cv5), 32, 1, false)
+
+	// More exporter constant chains on the neck outputs.
+	outMedium = b.constantChain(outMedium, 8)
+	outLarge = b.constantChain(outLarge, 8)
+
+	// Three detection heads.
+	h1 := b.yoloHead(outSmall, 3, 15)
+	h2 := b.yoloHead(outMedium, 3, 15)
+	h3 := b.yoloHead(outLarge, 3, 15)
+	b.output(h1)
+	b.output(h2)
+	b.output(h3)
+	return b.finish()
+}

@@ -1,0 +1,161 @@
+package onnx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/models"
+)
+
+func TestRoundTripSqueezenet(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	m := FromGraph(g)
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m2.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(g.Nodes) {
+		t.Fatalf("round trip changed node count %d → %d", len(g.Nodes), len(g2.Nodes))
+	}
+	if len(g2.Initializers) != len(g.Initializers) {
+		t.Fatalf("round trip changed initializer count")
+	}
+	// Semantics preserved: same outputs on same inputs.
+	feeds := models.RandomInputs(g, 4)
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.RunSequential(g2, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if !got[k].Equal(w) {
+			t.Errorf("output %s differs after round trip", k)
+		}
+	}
+}
+
+func TestRoundTripAttrsSurviveJSON(t *testing.T) {
+	// JSON turns ints into float64; the Attrs accessors must still work.
+	g := models.MustBuild("googlenet", models.Config{ImageSize: 16})
+	data, err := Marshal(FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g2.Nodes {
+		if n.OpType == "Conv" {
+			ks := n.Attrs.Ints("kernel_shape", nil)
+			if len(ks) != 2 {
+				t.Fatalf("kernel_shape lost in round trip: %v", n.Attrs)
+			}
+			return
+		}
+	}
+	t.Fatal("no Conv found")
+}
+
+func TestSaveLoadFilePlainAndGzip(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	dir := t.TempDir()
+	for _, name := range []string{"model.json", "model.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(g, path); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g2.Nodes) != len(g.Nodes) {
+			t.Errorf("%s: node count changed", name)
+		}
+	}
+	// Gzip should be smaller.
+	plain, _ := os.Stat(filepath.Join(dir, "model.json"))
+	gz, _ := os.Stat(filepath.Join(dir, "model.json.gz"))
+	if gz.Size() >= plain.Size() {
+		t.Errorf("gzip (%d) not smaller than plain (%d)", gz.Size(), plain.Size())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/model.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestToGraphRejectsBadInitializer(t *testing.T) {
+	m := &Model{Graph: GraphProto{
+		Name:        "bad",
+		Initializer: []TensorData{{Name: "w", Dims: []int{2, 2}, Data: []float32{1}}},
+	}}
+	if _, err := m.ToGraph(); err == nil || !strings.Contains(err.Error(), "initializer") {
+		t.Errorf("bad initializer not rejected: %v", err)
+	}
+}
+
+func TestToGraphValidates(t *testing.T) {
+	m := &Model{Graph: GraphProto{
+		Name: "invalid",
+		Nodes: []NodeProto{
+			{Name: "a", OpType: "Relu", Input: []string{"ghost"}, Output: []string{"va"}},
+		},
+		Output: []ValueProto{{Name: "va"}},
+	}}
+	if _, err := m.ToGraph(); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestFromGraphDeterministicOrder(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	a, err := Marshal(FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	m := FromGraph(g)
+	if m.IRVersion != CurrentIRVersion || m.ProducerName != "ramiel-go" {
+		t.Errorf("metadata: %+v", m)
+	}
+	if m.Graph.Name != "squeezenet" {
+		t.Errorf("graph name %q", m.Graph.Name)
+	}
+}

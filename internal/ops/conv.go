@@ -1,0 +1,224 @@
+package ops
+
+import (
+	"repro/internal/tensor"
+)
+
+// Conv implements 2-D convolution over NCHW activations with OIHW weights,
+// optional bias, symmetric or ONNX-style padding and grouped channels.
+// Output rows are distributed across intra-op worker goroutines.
+func Conv(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Conv", in, 2, 3); err != nil {
+		return nil, err
+	}
+	x, w := in[0], in[1]
+	var bias *tensor.Tensor
+	if len(in) == 3 {
+		bias = in[2]
+	}
+	xs, ws := x.Shape(), w.Shape()
+	if xs.Rank() != 4 || ws.Rank() != 4 {
+		return nil, argErr("Conv", "want 4-D input and weight, got %v and %v", xs, ws)
+	}
+	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
+	m, cg, kh, kw := ws[0], ws[1], ws[2], ws[3]
+	groups := attrs.Int("group", 1)
+	if groups < 1 {
+		groups = 1
+	}
+	if c != cg*groups {
+		return nil, argErr("Conv", "channel mismatch: input C=%d, weight C/g=%d, groups=%d", c, cg, groups)
+	}
+	if m%groups != 0 {
+		return nil, argErr("Conv", "output channels %d not divisible by groups %d", m, groups)
+	}
+	if bias != nil && bias.Numel() != m {
+		return nil, argErr("Conv", "bias has %d elements, want %d", bias.Numel(), m)
+	}
+	sh, sw := strides2(attrs.Ints("strides", nil))
+	pt, pl, pb, pr := pads4(attrs.Ints("pads", nil))
+	oh := convOutDim(h, kh, sh, pt, pb)
+	ow := convOutDim(wd, kw, sw, pl, pr)
+	if oh <= 0 || ow <= 0 {
+		return nil, argErr("Conv", "non-positive output size %dx%d from input %v kernel %dx%d", oh, ow, xs, kh, kw)
+	}
+
+	out := tensor.Zeros(n, m, oh, ow)
+	xd, wdata, od := x.Data(), w.Data(), out.Data()
+	mPerG := m / groups
+
+	// Parallelize across (batch, outChannel) pairs: the natural task grain
+	// for CNN inference and the same axis PyTorch's OpenMP loops use.
+	tensor.ParallelFor(n*m, 1, func(idx int) {
+		b := idx / m
+		oc := idx % m
+		g := oc / mPerG
+		cLo := g * cg
+		var biasV float32
+		if bias != nil {
+			biasV = bias.Data()[oc]
+		}
+		wBase := oc * cg * kh * kw
+		oBase := (b*m + oc) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*sh - pt
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*sw - pl
+				acc := biasV
+				for ci := 0; ci < cg; ci++ {
+					xBase := (b*c + cLo + ci) * h * wd
+					wc := wBase + ci*kh*kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						rowX := xBase + iy*wd
+						rowW := wc + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							acc += xd[rowX+ix] * wdata[rowW+kx]
+						}
+					}
+				}
+				od[oBase+oy*ow+ox] = acc
+			}
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+// poolKind selects max or average pooling in pool2d.
+type poolKind int
+
+const (
+	poolMax poolKind = iota
+	poolAvg
+)
+
+func pool2d(op string, kind poolKind, in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need(op, in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	xs := x.Shape()
+	if xs.Rank() != 4 {
+		return nil, argErr(op, "want 4-D input, got %v", xs)
+	}
+	ks := attrs.Ints("kernel_shape", nil)
+	if len(ks) != 2 {
+		return nil, argErr(op, "kernel_shape must have 2 entries, got %v", ks)
+	}
+	kh, kw := ks[0], ks[1]
+	sh, sw := strides2(attrs.Ints("strides", []int{kh, kw}))
+	pt, pl, pb, pr := pads4(attrs.Ints("pads", nil))
+	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	oh := convOutDim(h, kh, sh, pt, pb)
+	ow := convOutDim(w, kw, sw, pl, pr)
+	if oh <= 0 || ow <= 0 {
+		return nil, argErr(op, "non-positive output size %dx%d", oh, ow)
+	}
+	countIncludePad := attrs.Int("count_include_pad", 0) != 0
+
+	out := tensor.Zeros(n, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n*c, 1, func(idx int) {
+		plane := idx * h * w
+		oBase := idx * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*sh - pt
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*sw - pl
+				switch kind {
+				case poolMax:
+					best := float32(negInf)
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							if v := xd[plane+iy*w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					od[oBase+oy*ow+ox] = best
+				case poolAvg:
+					var sum float32
+					cnt := 0
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += xd[plane+iy*w+ix]
+							cnt++
+						}
+					}
+					div := cnt
+					if countIncludePad {
+						div = kh * kw
+					}
+					if div == 0 {
+						div = 1
+					}
+					od[oBase+oy*ow+ox] = sum / float32(div)
+				}
+			}
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+const negInf = float32(-3.4028234663852886e38)
+
+// MaxPool implements 2-D max pooling.
+func MaxPool(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	return pool2d("MaxPool", poolMax, in, attrs)
+}
+
+// AveragePool implements 2-D average pooling.
+func AveragePool(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	return pool2d("AveragePool", poolAvg, in, attrs)
+}
+
+// GlobalAveragePool averages each channel plane to 1x1.
+func GlobalAveragePool(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+	if err := need("GlobalAveragePool", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	xs := x.Shape()
+	if xs.Rank() != 4 {
+		return nil, argErr("GlobalAveragePool", "want 4-D input, got %v", xs)
+	}
+	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	out := tensor.Zeros(n, c, 1, 1)
+	xd, od := x.Data(), out.Data()
+	plane := h * w
+	if plane == 0 {
+		return nil, argErr("GlobalAveragePool", "empty spatial plane in %v", xs)
+	}
+	tensor.ParallelFor(n*c, 8, func(idx int) {
+		var sum float32
+		base := idx * plane
+		for i := 0; i < plane; i++ {
+			sum += xd[base+i]
+		}
+		od[idx] = sum / float32(plane)
+	})
+	return []*tensor.Tensor{out}, nil
+}

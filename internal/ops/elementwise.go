@@ -1,0 +1,230 @@
+package ops
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// unary builds a Kernel applying f element-wise.
+func unary(op string, f func(float32) float32) Kernel {
+	return func(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+		if err := need(op, in, 1, 1); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		out := tensor.ZerosLike(x)
+		xd, od := x.Data(), out.Data()
+		tensor.ParallelRange(len(xd), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = f(xd[i])
+			}
+		})
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+// Relu is max(x, 0).
+var Relu = unary("Relu", func(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	return v
+})
+
+// Sigmoid is 1/(1+exp(-x)).
+var Sigmoid = unary("Sigmoid", func(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+})
+
+// Tanh is the hyperbolic tangent.
+var Tanh = unary("Tanh", func(v float32) float32 {
+	return float32(math.Tanh(float64(v)))
+})
+
+// Exp is e^x.
+var Exp = unary("Exp", func(v float32) float32 {
+	return float32(math.Exp(float64(v)))
+})
+
+// Sqrt is the square root (NaN for negative inputs, as ONNX).
+var Sqrt = unary("Sqrt", func(v float32) float32 {
+	return float32(math.Sqrt(float64(v)))
+})
+
+// Erf is the Gauss error function, the primitive BERT's GELU decomposes to.
+var Erf = unary("Erf", func(v float32) float32 {
+	return float32(math.Erf(float64(v)))
+})
+
+// Neg is -x.
+var Neg = unary("Neg", func(v float32) float32 { return -v })
+
+// Identity passes its single input through unchanged (copied, so downstream
+// mutation hazards cannot arise).
+func Identity(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Identity", in, 1, 1); err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{in[0].Clone()}, nil
+}
+
+// LeakyRelu is x for x>=0 else alpha*x (attribute alpha, default 0.01).
+func LeakyRelu(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	alpha := float32(attrs.Float("alpha", 0.01))
+	return unary("LeakyRelu", func(v float32) float32 {
+		if v < 0 {
+			return alpha * v
+		}
+		return v
+	})(in, attrs)
+}
+
+// Clip bounds x to [min, max] given as attributes (ONNX opset-6 style).
+func Clip(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	lo := float32(attrs.Float("min", -math.MaxFloat32))
+	hi := float32(attrs.Float("max", math.MaxFloat32))
+	return unary("Clip", func(v float32) float32 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	})(in, attrs)
+}
+
+// binary builds a Kernel applying f element-wise with NumPy broadcasting.
+func binary(op string, f func(a, b float32) float32) Kernel {
+	return func(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+		if err := need(op, in, 2, 2); err != nil {
+			return nil, err
+		}
+		a, b := in[0], in[1]
+		as, bs := a.Shape(), b.Shape()
+		if as.Equal(bs) { // fast path
+			out := tensor.ZerosLike(a)
+			ad, bd, od := a.Data(), b.Data(), out.Data()
+			tensor.ParallelRange(len(od), 4096, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					od[i] = f(ad[i], bd[i])
+				}
+			})
+			return []*tensor.Tensor{out}, nil
+		}
+		os, err := tensor.Broadcast(as, bs)
+		if err != nil {
+			return nil, argErr(op, "%v", err)
+		}
+		out := tensor.Zeros(os...)
+		od := out.Data()
+		oStrides := os.Strides()
+		aIdx := broadcastStrides(as, os)
+		bIdx := broadcastStrides(bs, os)
+		ad, bd := a.Data(), b.Data()
+		n := len(od)
+		tensor.ParallelRange(n, 1024, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ai, bi := 0, 0
+				rem := i
+				for d := 0; d < len(os); d++ {
+					pos := rem / oStrides[d]
+					rem %= oStrides[d]
+					ai += pos * aIdx[d]
+					bi += pos * bIdx[d]
+				}
+				od[i] = f(ad[ai], bd[bi])
+			}
+		})
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+// broadcastStrides returns per-output-dimension strides into a tensor of
+// shape s being broadcast to shape out: 0 stride where s has extent 1.
+func broadcastStrides(s, out tensor.Shape) []int {
+	strides := make([]int, len(out))
+	sStrides := s.Strides()
+	offset := len(out) - len(s)
+	for d := range out {
+		if d < offset {
+			strides[d] = 0
+			continue
+		}
+		sd := d - offset
+		if s[sd] == 1 && out[d] != 1 {
+			strides[d] = 0
+		} else {
+			strides[d] = sStrides[sd]
+		}
+	}
+	return strides
+}
+
+// Add is element-wise a+b with broadcasting.
+var Add = binary("Add", func(a, b float32) float32 { return a + b })
+
+// Sub is element-wise a-b with broadcasting.
+var Sub = binary("Sub", func(a, b float32) float32 { return a - b })
+
+// Mul is element-wise a*b with broadcasting.
+var Mul = binary("Mul", func(a, b float32) float32 { return a * b })
+
+// Div is element-wise a/b with broadcasting.
+var Div = binary("Div", func(a, b float32) float32 { return a / b })
+
+// Pow is element-wise a^b with broadcasting.
+var Pow = binary("Pow", func(a, b float32) float32 {
+	return float32(math.Pow(float64(a), float64(b)))
+})
+
+// Softmax normalizes along the given axis (attribute "axis", default -1)
+// with the usual max-subtraction for numerical stability.
+func Softmax(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Softmax", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	s := x.Shape()
+	axis := attrs.Int("axis", -1)
+	if axis < 0 {
+		axis += s.Rank()
+	}
+	if axis < 0 || axis >= s.Rank() {
+		return nil, argErr("Softmax", "axis out of range for %v", s)
+	}
+	inner := 1
+	for d := axis + 1; d < s.Rank(); d++ {
+		inner *= s[d]
+	}
+	axisN := s[axis]
+	outer := x.Numel() / maxInt(inner*axisN, 1)
+	out := tensor.ZerosLike(x)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(outer*inner, 16, func(oi int) {
+		o := oi / inner
+		i := oi % inner
+		base := o*axisN*inner + i
+		maxV := float32(negInf)
+		for a := 0; a < axisN; a++ {
+			if v := xd[base+a*inner]; v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for a := 0; a < axisN; a++ {
+			e := math.Exp(float64(xd[base+a*inner] - maxV))
+			od[base+a*inner] = float32(e)
+			sum += e
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		inv := float32(1 / sum)
+		for a := 0; a < axisN; a++ {
+			od[base+a*inner] *= inv
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}

@@ -1,0 +1,172 @@
+package ops
+
+import (
+	"repro/internal/tensor"
+)
+
+// MatMul implements ONNX MatMul: 2-D matrix product plus batched variants
+// where both inputs have rank >= 2 and leading dimensions broadcast.
+// Rows of the left operand are distributed across intra-op workers.
+func MatMul(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+	if err := need("MatMul", in, 2, 2); err != nil {
+		return nil, err
+	}
+	a, b := in[0], in[1]
+	as, bs := a.Shape(), b.Shape()
+	if as.Rank() < 2 || bs.Rank() < 2 {
+		return nil, argErr("MatMul", "want rank >= 2 operands, got %v and %v", as, bs)
+	}
+	m, k := as[as.Rank()-2], as[as.Rank()-1]
+	k2, n := bs[bs.Rank()-2], bs[bs.Rank()-1]
+	if k != k2 {
+		return nil, argErr("MatMul", "inner dimensions differ: %v x %v", as, bs)
+	}
+	batchA, err := tensor.Broadcast(as[:as.Rank()-2], bs[:bs.Rank()-2])
+	if err != nil {
+		return nil, argErr("MatMul", "batch dims incompatible: %v", err)
+	}
+	outShape := append(batchA.Clone(), m, n)
+	out := tensor.Zeros(outShape...)
+
+	batches := batchA.Numel()
+	aBatch := as[:as.Rank()-2].Numel()
+	bBatch := bs[:bs.Rank()-2].Numel()
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+
+	for batch := 0; batch < batches; batch++ {
+		// Broadcast batch index back onto each operand. Operands either
+		// carry the full batch or a size-1 (or absent) batch.
+		ai := batch % maxInt(aBatch, 1)
+		bi := batch % maxInt(bBatch, 1)
+		if aBatch == batches {
+			ai = batch
+		} else if aBatch <= 1 {
+			ai = 0
+		}
+		if bBatch == batches {
+			bi = batch
+		} else if bBatch <= 1 {
+			bi = 0
+		}
+		aOff := ai * m * k
+		bOff := bi * k * n
+		oOff := batch * m * n
+		matmul2D(ad[aOff:aOff+m*k], bd[bOff:bOff+k*n], od[oOff:oOff+m*n], m, k, n)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// matmul2D computes C = A(mxk) * B(kxn) into c, parallelizing over rows.
+// The k-loop is the middle loop (ikj order) so B is streamed row-wise,
+// which keeps the inner loop vectorizable and cache-friendly.
+func matmul2D(a, b, c []float32, m, k, n int) {
+	tensor.ParallelRange(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a[i*k+p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// Gemm implements ONNX Gemm: Y = alpha*op(A)*op(B) + beta*C with optional
+// transposes; C broadcasts over rows when it is a vector.
+func Gemm(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Gemm", in, 2, 3); err != nil {
+		return nil, err
+	}
+	a, b := in[0], in[1]
+	alpha := float32(attrs.Float("alpha", 1))
+	beta := float32(attrs.Float("beta", 1))
+	transA := attrs.Int("transA", 0) != 0
+	transB := attrs.Int("transB", 0) != 0
+	as, bs := a.Shape(), b.Shape()
+	if as.Rank() != 2 || bs.Rank() != 2 {
+		return nil, argErr("Gemm", "want 2-D operands, got %v and %v", as, bs)
+	}
+	m, k := as[0], as[1]
+	if transA {
+		m, k = k, m
+	}
+	kb, n := bs[0], bs[1]
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb {
+		return nil, argErr("Gemm", "inner dimensions differ: %d vs %d", k, kb)
+	}
+	out := tensor.Zeros(m, n)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+
+	tensor.ParallelRange(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := od[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				var av float32
+				if transA {
+					av = ad[p*as[1]+i]
+				} else {
+					av = ad[i*as[1]+p]
+				}
+				if av == 0 {
+					continue
+				}
+				av *= alpha
+				if transB {
+					for j := 0; j < n; j++ {
+						row[j] += av * bd[j*bs[1]+p]
+					}
+				} else {
+					bp := bd[p*bs[1] : p*bs[1]+n]
+					for j, bv := range bp {
+						row[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+
+	if len(in) == 3 && beta != 0 {
+		c := in[2]
+		cs := c.Shape()
+		cd := c.Data()
+		switch {
+		case cs.Equal(tensor.Shape{m, n}):
+			for i := range od {
+				od[i] += beta * cd[i]
+			}
+		case cs.Numel() == n: // bias row vector, broadcast over rows
+			for i := 0; i < m; i++ {
+				row := od[i*n : (i+1)*n]
+				for j := range row {
+					row[j] += beta * cd[j]
+				}
+			}
+		case cs.Numel() == 1:
+			for i := range od {
+				od[i] += beta * cd[0]
+			}
+		default:
+			return nil, argErr("Gemm", "C shape %v not broadcastable to [%d %d]", cs, m, n)
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func refMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k := a.Shape()[0], a.Shape()[1]
+	n := b.Shape()[1]
+	out := tensor.Zeros(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(acc, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMul2D(t *testing.T) {
+	r := tensor.NewRNG(3)
+	for _, dims := range [][3]int{{2, 3, 4}, {1, 1, 1}, {5, 7, 2}, {16, 16, 16}} {
+		a := r.RandTensor(dims[0], dims[1])
+		b := r.RandTensor(dims[1], dims[2])
+		got, err := MatMul([]*tensor.Tensor{a, b}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refMatMul(a, b)
+		if !got[0].AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("dims %v: mismatch %v", dims, got[0].MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulBatched(t *testing.T) {
+	r := tensor.NewRNG(9)
+	a := r.RandTensor(3, 2, 4, 5)
+	b := r.RandTensor(3, 2, 5, 6)
+	got, err := MatMul([]*tensor.Tensor{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Shape().Equal(tensor.Shape{3, 2, 4, 6}) {
+		t.Fatalf("shape = %v", got[0].Shape())
+	}
+	// Check one batch element against 2-D reference.
+	a0 := tensor.New(tensor.Shape{4, 5}, a.Data()[0:20])
+	b0 := tensor.New(tensor.Shape{5, 6}, b.Data()[0:30])
+	want := refMatMul(a0, b0)
+	g0 := tensor.New(tensor.Shape{4, 6}, got[0].Data()[0:24])
+	if !g0.AllClose(want, 1e-4, 1e-5) {
+		t.Error("batched MatMul batch 0 mismatch")
+	}
+}
+
+func TestMatMulBroadcastBatch(t *testing.T) {
+	r := tensor.NewRNG(21)
+	a := r.RandTensor(4, 3, 5) // batch 4
+	b := r.RandTensor(5, 6)    // no batch: broadcast
+	got, err := MatMul([]*tensor.Tensor{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Shape().Equal(tensor.Shape{4, 3, 6}) {
+		t.Fatalf("shape = %v", got[0].Shape())
+	}
+	// Last batch must use the same b.
+	a3 := tensor.New(tensor.Shape{3, 5}, a.Data()[3*15:4*15])
+	want := refMatMul(a3, b)
+	g3 := tensor.New(tensor.Shape{3, 6}, got[0].Data()[3*18:4*18])
+	if !g3.AllClose(want, 1e-4, 1e-5) {
+		t.Error("broadcast batch mismatch")
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	if _, err := MatMul([]*tensor.Tensor{tensor.Zeros(2, 3), tensor.Zeros(4, 5)}, nil); err == nil {
+		t.Error("inner-dim mismatch accepted")
+	}
+	if _, err := MatMul([]*tensor.Tensor{tensor.Zeros(3), tensor.Zeros(3, 2)}, nil); err == nil {
+		t.Error("rank-1 operand accepted")
+	}
+	if _, err := MatMul([]*tensor.Tensor{tensor.Zeros(2, 2)}, nil); err == nil {
+		t.Error("single operand accepted")
+	}
+}
+
+func TestGemm(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := r.RandTensor(3, 4)
+	b := r.RandTensor(4, 5)
+	c := r.RandTensor(5)
+	got, err := Gemm([]*tensor.Tensor{a, b, c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refMatMul(a, b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			want.Set(want.At(i, j)+c.At(j), i, j)
+		}
+	}
+	if !got[0].AllClose(want, 1e-4, 1e-5) {
+		t.Errorf("Gemm mismatch %v", got[0].MaxAbsDiff(want))
+	}
+}
+
+func TestGemmTransposes(t *testing.T) {
+	r := tensor.NewRNG(8)
+	a := r.RandTensor(4, 3) // transA -> 3x4
+	b := r.RandTensor(5, 4) // transB -> 4x5
+	got, err := Gemm([]*tensor.Tensor{a, b}, Attrs{"transA": 1, "transB": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := tensor.Zeros(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	bt := tensor.Zeros(4, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	want := refMatMul(at, bt)
+	if !got[0].AllClose(want, 1e-4, 1e-5) {
+		t.Errorf("Gemm transpose mismatch %v", got[0].MaxAbsDiff(want))
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	a := tensor.Full(1, 2, 2)
+	b := tensor.Full(1, 2, 2)
+	c := tensor.Full(10, 2, 2)
+	got, err := Gemm([]*tensor.Tensor{a, b, c}, Attrs{"alpha": 0.5, "beta": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5*(1*1+1*1) + 2*10 = 21
+	if got[0].Data()[0] != 21 {
+		t.Fatalf("Gemm alpha/beta = %v, want 21", got[0].Data()[0])
+	}
+}
+
+func TestGemmErrors(t *testing.T) {
+	if _, err := Gemm([]*tensor.Tensor{tensor.Zeros(2, 3), tensor.Zeros(2, 3)}, nil); err == nil {
+		t.Error("inner mismatch accepted")
+	}
+	if _, err := Gemm([]*tensor.Tensor{tensor.Zeros(2, 3), tensor.Zeros(3, 4), tensor.Zeros(3)}, nil); err == nil {
+		t.Error("bad C shape accepted")
+	}
+}
+
+// Property: matmul with identity returns the original matrix.
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(seed uint32, n0 uint8) bool {
+		n := int(n0%6) + 1
+		r := tensor.NewRNG(uint64(seed) + 1)
+		a := r.RandTensor(n, n)
+		eye := tensor.Zeros(n, n)
+		for i := 0; i < n; i++ {
+			eye.Set(1, i, i)
+		}
+		out, err := MatMul([]*tensor.Tensor{a, eye}, nil)
+		if err != nil {
+			return false
+		}
+		return out[0].AllClose(a, 1e-5, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ via Gemm transposes.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := tensor.NewRNG(uint64(seed)*7 + 3)
+		a := r.RandTensor(3, 4)
+		b := r.RandTensor(4, 2)
+		ab, err := MatMul([]*tensor.Tensor{a, b}, nil)
+		if err != nil {
+			return false
+		}
+		btat, err := Gemm([]*tensor.Tensor{b, a}, Attrs{"transA": 1, "transB": 1})
+		if err != nil {
+			return false
+		}
+		// btat should equal transpose of ab.
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				d := float64(ab[0].At(i, j) - btat[0].At(j, i))
+				if d > 1e-4 || d < -1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package ops
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNormalization implements inference-mode batch norm over NCHW input:
+// y = scale*(x-mean)/sqrt(var+eps) + bias with per-channel statistics.
+// Inputs: X, scale, bias, mean, variance.
+func BatchNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("BatchNormalization", in, 5, 5); err != nil {
+		return nil, err
+	}
+	x, scale, bias, mean, variance := in[0], in[1], in[2], in[3], in[4]
+	xs := x.Shape()
+	if xs.Rank() < 2 {
+		return nil, argErr("BatchNormalization", "want rank >= 2 input, got %v", xs)
+	}
+	c := xs[1]
+	for i, p := range []*tensor.Tensor{scale, bias, mean, variance} {
+		if p.Numel() != c {
+			return nil, argErr("BatchNormalization", "param %d has %d elements, want %d", i+1, p.Numel(), c)
+		}
+	}
+	eps := attrs.Float("epsilon", 1e-5)
+	n := xs[0]
+	plane := x.Numel() / maxInt(n*c, 1)
+	out := tensor.ZerosLike(x)
+	xd, od := x.Data(), out.Data()
+	sd, bd, md, vd := scale.Data(), bias.Data(), mean.Data(), variance.Data()
+
+	// Precompute per-channel affine parameters: y = a*x + b.
+	as := make([]float32, c)
+	bs := make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		inv := float32(1 / math.Sqrt(float64(vd[ch])+eps))
+		as[ch] = sd[ch] * inv
+		bs[ch] = bd[ch] - md[ch]*sd[ch]*inv
+	}
+	tensor.ParallelFor(n*c, 4, func(idx int) {
+		ch := idx % c
+		a, b := as[ch], bs[ch]
+		base := idx * plane
+		for i := 0; i < plane; i++ {
+			od[base+i] = a*xd[base+i] + b
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+// LayerNormalization normalizes over the trailing axes starting at
+// attribute "axis" (default -1): y = scale*(x-mu)/sqrt(var+eps) + bias.
+// Inputs: X, scale, optional bias.
+func LayerNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("LayerNormalization", in, 2, 3); err != nil {
+		return nil, err
+	}
+	x, scale := in[0], in[1]
+	var bias *tensor.Tensor
+	if len(in) == 3 {
+		bias = in[2]
+	}
+	xs := x.Shape()
+	axis := attrs.Int("axis", -1)
+	if axis < 0 {
+		axis += xs.Rank()
+	}
+	if axis < 0 || axis >= xs.Rank() {
+		return nil, argErr("LayerNormalization", "axis out of range for %v", xs)
+	}
+	inner := 1
+	for d := axis; d < xs.Rank(); d++ {
+		inner *= xs[d]
+	}
+	if scale.Numel() != inner {
+		return nil, argErr("LayerNormalization", "scale has %d elements, want %d", scale.Numel(), inner)
+	}
+	if bias != nil && bias.Numel() != inner {
+		return nil, argErr("LayerNormalization", "bias has %d elements, want %d", bias.Numel(), inner)
+	}
+	eps := attrs.Float("epsilon", 1e-5)
+	outer := x.Numel() / maxInt(inner, 1)
+	out := tensor.ZerosLike(x)
+	xd, od, sd := x.Data(), out.Data(), scale.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+	tensor.ParallelFor(outer, 2, func(o int) {
+		base := o * inner
+		var sum float64
+		for i := 0; i < inner; i++ {
+			sum += float64(xd[base+i])
+		}
+		mu := sum / float64(inner)
+		var sq float64
+		for i := 0; i < inner; i++ {
+			d := float64(xd[base+i]) - mu
+			sq += d * d
+		}
+		inv := 1 / math.Sqrt(sq/float64(inner)+eps)
+		for i := 0; i < inner; i++ {
+			v := float32((float64(xd[base+i]) - mu) * inv)
+			v *= sd[i]
+			if bd != nil {
+				v += bd[i]
+			}
+			od[base+i] = v
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+// ReduceMean averages over the axes given by attribute "axes" (default:
+// all), keeping reduced dimensions when "keepdims" != 0 (the default).
+func ReduceMean(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("ReduceMean", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	xs := x.Shape()
+	axes := attrs.Ints("axes", nil)
+	keep := attrs.Int("keepdims", 1) != 0
+	reduce := make([]bool, xs.Rank())
+	if len(axes) == 0 {
+		for i := range reduce {
+			reduce[i] = true
+		}
+	} else {
+		for _, a := range axes {
+			if a < 0 {
+				a += xs.Rank()
+			}
+			if a < 0 || a >= xs.Rank() {
+				return nil, argErr("ReduceMean", "axis %v out of range for %v", axes, xs)
+			}
+			reduce[a] = true
+		}
+	}
+	outShape := tensor.Shape{}
+	count := 1
+	for d, r := range reduce {
+		if r {
+			count *= xs[d]
+			if keep {
+				outShape = append(outShape, 1)
+			}
+		} else {
+			outShape = append(outShape, xs[d])
+		}
+	}
+	out := tensor.Zeros(outShape...)
+	od, xd := out.Data(), x.Data()
+	xStrides := xs.Strides()
+
+	// Walk every input element, accumulate into the output cell it maps to.
+	outStride := make([]int, xs.Rank())
+	acc := 1
+	for d := xs.Rank() - 1; d >= 0; d-- {
+		if reduce[d] {
+			outStride[d] = 0
+		} else {
+			outStride[d] = acc
+			acc *= xs[d]
+		}
+	}
+	sums := make([]float64, out.Numel())
+	for i := range xd {
+		oi := 0
+		rem := i
+		for d := 0; d < xs.Rank(); d++ {
+			pos := rem / xStrides[d]
+			rem %= xStrides[d]
+			oi += pos * outStride[d]
+		}
+		sums[oi] += float64(xd[i])
+	}
+	if count == 0 {
+		count = 1
+	}
+	for i := range od {
+		od[i] = float32(sums[i] / float64(count))
+	}
+	return []*tensor.Tensor{out}, nil
+}

@@ -1,0 +1,83 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps ONNX-style op-type names to their kernels. It is populated
+// at init time and read-only afterwards, so lookups need no locking.
+var registry = map[string]Kernel{}
+
+// register installs a kernel; duplicate registration is a programmer error.
+func register(name string, k Kernel) {
+	if _, dup := registry[name]; dup {
+		panic("ops: duplicate kernel registration: " + name)
+	}
+	registry[name] = k
+}
+
+func init() {
+	register("Conv", Conv)
+	register("MaxPool", MaxPool)
+	register("AveragePool", AveragePool)
+	register("GlobalAveragePool", GlobalAveragePool)
+	register("MatMul", MatMul)
+	register("Gemm", Gemm)
+	register("Relu", Relu)
+	register("LeakyRelu", LeakyRelu)
+	register("Sigmoid", Sigmoid)
+	register("Tanh", Tanh)
+	register("Exp", Exp)
+	register("Sqrt", Sqrt)
+	register("Erf", Erf)
+	register("Neg", Neg)
+	register("Clip", Clip)
+	register("Identity", Identity)
+	register("Add", Add)
+	register("Sub", Sub)
+	register("Mul", Mul)
+	register("Div", Div)
+	register("Pow", Pow)
+	register("Softmax", Softmax)
+	register("BatchNormalization", BatchNormalization)
+	register("LayerNormalization", LayerNormalization)
+	register("ReduceMean", ReduceMean)
+	register("Concat", ConcatOp)
+	register("Reshape", Reshape)
+	register("Flatten", Flatten)
+	register("Transpose", Transpose)
+	register("Slice", Slice)
+	register("Gather", Gather)
+	register("Split", Split)
+	register("Squeeze", Squeeze)
+	register("Unsqueeze", Unsqueeze)
+	register("Shape", ShapeOp)
+	register("Constant", Constant)
+}
+
+// Lookup returns the kernel registered for the op type, or an error naming
+// the missing operator.
+func Lookup(opType string) (Kernel, error) {
+	k, ok := registry[opType]
+	if !ok {
+		return nil, fmt.Errorf("ops: no kernel registered for op type %q", opType)
+	}
+	return k, nil
+}
+
+// Supported reports whether a kernel exists for the op type.
+func Supported(opType string) bool {
+	_, ok := registry[opType]
+	return ok
+}
+
+// Names returns all registered op-type names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

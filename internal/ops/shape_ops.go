@@ -1,0 +1,458 @@
+package ops
+
+import (
+	"repro/internal/tensor"
+)
+
+// ConcatOp joins its inputs along attribute "axis".
+func ConcatOp(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Concat", in, 1, -1); err != nil {
+		return nil, err
+	}
+	axis := attrs.Int("axis", 1)
+	shapes := make([]tensor.Shape, len(in))
+	for i, t := range in {
+		shapes[i] = t.Shape()
+	}
+	outShape, err := tensor.Concat(axis, shapes...)
+	if err != nil {
+		return nil, argErr("Concat", "%v", err)
+	}
+	if axis < 0 {
+		axis += outShape.Rank()
+	}
+	out := tensor.Zeros(outShape...)
+	od := out.Data()
+
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < outShape.Rank(); d++ {
+		inner *= outShape[d]
+	}
+	// For each outer slab, copy each input's contiguous (axisLen*inner) block.
+	dst := 0
+	for o := 0; o < outer; o++ {
+		for _, t := range in {
+			blk := t.Shape()[axis] * inner
+			src := o * blk
+			copy(od[dst:dst+blk], t.Data()[src:src+blk])
+			dst += blk
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// Reshape implements ONNX Reshape: input 0 is the data, input 1 a rank-1
+// tensor holding the target dims (with -1 inference and 0 meaning "copy
+// input dim"). The attribute form "shape" is also accepted for convenience.
+func Reshape(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Reshape", in, 1, 2); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	var dims []int
+	if len(in) == 2 {
+		sd := in[1].Data()
+		dims = make([]int, len(sd))
+		for i, v := range sd {
+			dims[i] = int(v)
+		}
+	} else if s := attrs.Ints("shape", nil); s != nil {
+		dims = append([]int(nil), s...)
+	} else {
+		return nil, argErr("Reshape", "no shape input or attribute")
+	}
+	for i, d := range dims {
+		if d == 0 { // ONNX: copy the corresponding input dimension
+			if i >= x.Rank() {
+				return nil, argErr("Reshape", "dim 0 at position %d exceeds input rank %d", i, x.Rank())
+			}
+			dims[i] = x.Shape()[i]
+		}
+	}
+	r, err := x.Clone().Reshape(dims...)
+	if err != nil {
+		return nil, argErr("Reshape", "%v", err)
+	}
+	return []*tensor.Tensor{r}, nil
+}
+
+// Flatten collapses dimensions into a 2-D matrix at attribute "axis"
+// (default 1): [d0*…*d(axis-1), d(axis)*…*dn].
+func Flatten(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Flatten", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axis := attrs.Int("axis", 1)
+	if axis < 0 {
+		axis += x.Rank()
+	}
+	if axis < 0 || axis > x.Rank() {
+		return nil, argErr("Flatten", "axis %d out of range for %v", axis, x.Shape())
+	}
+	rows := 1
+	for d := 0; d < axis; d++ {
+		rows *= x.Shape()[d]
+	}
+	cols := x.Numel() / maxInt(rows, 1)
+	r, err := x.Clone().Reshape(rows, cols)
+	if err != nil {
+		return nil, argErr("Flatten", "%v", err)
+	}
+	return []*tensor.Tensor{r}, nil
+}
+
+// Transpose permutes dimensions per attribute "perm" (default: reverse).
+func Transpose(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Transpose", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	rank := x.Rank()
+	perm := attrs.Ints("perm", nil)
+	if perm == nil {
+		perm = make([]int, rank)
+		for i := range perm {
+			perm[i] = rank - 1 - i
+		}
+	}
+	if len(perm) != rank {
+		return nil, argErr("Transpose", "perm %v does not match rank %d", perm, rank)
+	}
+	seen := make([]bool, rank)
+	outShape := make(tensor.Shape, rank)
+	for i, p := range perm {
+		if p < 0 || p >= rank || seen[p] {
+			return nil, argErr("Transpose", "invalid perm %v", perm)
+		}
+		seen[p] = true
+		outShape[i] = x.Shape()[p]
+	}
+	out := tensor.Zeros(outShape...)
+	xd, od := x.Data(), out.Data()
+	inStrides := x.Shape().Strides()
+	outStrides := outShape.Strides()
+	n := len(od)
+	tensor.ParallelRange(n, 2048, func(lo, hi int) {
+		idx := make([]int, rank)
+		for i := lo; i < hi; i++ {
+			rem := i
+			for d := 0; d < rank; d++ {
+				idx[d] = rem / outStrides[d]
+				rem %= outStrides[d]
+			}
+			src := 0
+			for d := 0; d < rank; d++ {
+				src += idx[d] * inStrides[perm[d]]
+			}
+			od[i] = xd[src]
+		}
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+// Slice extracts a sub-tensor using attributes "starts", "ends" and
+// optional "axes" (ONNX opset-1 attribute form). Negative indices count
+// from the end; ends are clamped.
+func Slice(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Slice", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	starts := attrs.Ints("starts", nil)
+	ends := attrs.Ints("ends", nil)
+	if starts == nil || ends == nil || len(starts) != len(ends) {
+		return nil, argErr("Slice", "starts/ends missing or mismatched")
+	}
+	axes := attrs.Ints("axes", nil)
+	if axes == nil {
+		axes = make([]int, len(starts))
+		for i := range axes {
+			axes[i] = i
+		}
+	}
+	if len(axes) != len(starts) {
+		return nil, argErr("Slice", "axes length mismatch")
+	}
+	rank := x.Rank()
+	lo := make([]int, rank)
+	hi := make([]int, rank)
+	for d := 0; d < rank; d++ {
+		hi[d] = x.Shape()[d]
+	}
+	for i, a := range axes {
+		if a < 0 {
+			a += rank
+		}
+		if a < 0 || a >= rank {
+			return nil, argErr("Slice", "axis %d out of range", axes[i])
+		}
+		dim := x.Shape()[a]
+		s, e := starts[i], ends[i]
+		if s < 0 {
+			s += dim
+		}
+		if e < 0 {
+			e += dim
+		}
+		s = clamp(s, 0, dim)
+		e = clamp(e, 0, dim)
+		if e < s {
+			e = s
+		}
+		lo[a], hi[a] = s, e
+	}
+	outShape := make(tensor.Shape, rank)
+	for d := range outShape {
+		outShape[d] = hi[d] - lo[d]
+	}
+	out := tensor.Zeros(outShape...)
+	od, xd := out.Data(), x.Data()
+	inStrides := x.Shape().Strides()
+	outStrides := outShape.Strides()
+	n := out.Numel()
+	for i := 0; i < n; i++ {
+		rem := i
+		src := 0
+		for d := 0; d < rank; d++ {
+			pos := rem / outStrides[d]
+			rem %= outStrides[d]
+			src += (pos + lo[d]) * inStrides[d]
+		}
+		od[i] = xd[src]
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// Gather selects entries along attribute "axis" (default 0) using input 1
+// as the (float-encoded) index tensor.
+func Gather(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Gather", in, 2, 2); err != nil {
+		return nil, err
+	}
+	x, indices := in[0], in[1]
+	axis := attrs.Int("axis", 0)
+	rank := x.Rank()
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		return nil, argErr("Gather", "axis %d out of range for %v", axis, x.Shape())
+	}
+	axisLen := x.Shape()[axis]
+	outShape := tensor.Shape{}
+	outShape = append(outShape, x.Shape()[:axis]...)
+	outShape = append(outShape, indices.Shape()...)
+	outShape = append(outShape, x.Shape()[axis+1:]...)
+	out := tensor.Zeros(outShape...)
+
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= x.Shape()[d]
+	}
+	inner := 1
+	for d := axis + 1; d < rank; d++ {
+		inner *= x.Shape()[d]
+	}
+	xd, od, idxD := x.Data(), out.Data(), indices.Data()
+	nIdx := indices.Numel()
+	for o := 0; o < outer; o++ {
+		for ii := 0; ii < nIdx; ii++ {
+			idx := int(idxD[ii])
+			if idx < 0 {
+				idx += axisLen
+			}
+			if idx < 0 || idx >= axisLen {
+				return nil, argErr("Gather", "index %d out of range [0,%d)", idx, axisLen)
+			}
+			src := (o*axisLen + idx) * inner
+			dst := (o*nIdx + ii) * inner
+			copy(od[dst:dst+inner], xd[src:src+inner])
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// Split divides input 0 along attribute "axis" into equal parts (attribute
+// "num" or per-part "split" sizes) and returns one output per part.
+func Split(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Split", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axis := attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += x.Rank()
+	}
+	if axis < 0 || axis >= x.Rank() {
+		return nil, argErr("Split", "axis out of range for %v", x.Shape())
+	}
+	axisLen := x.Shape()[axis]
+	sizes := attrs.Ints("split", nil)
+	if sizes == nil {
+		num := attrs.Int("num", 2)
+		if num <= 0 || axisLen%num != 0 {
+			return nil, argErr("Split", "cannot split %d into %d equal parts", axisLen, num)
+		}
+		sizes = make([]int, num)
+		for i := range sizes {
+			sizes[i] = axisLen / num
+		}
+	}
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, argErr("Split", "non-positive part size %v", sizes)
+		}
+		total += s
+	}
+	if total != axisLen {
+		return nil, argErr("Split", "sizes %v sum to %d, want %d", sizes, total, axisLen)
+	}
+
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= x.Shape()[d]
+	}
+	inner := 1
+	for d := axis + 1; d < x.Rank(); d++ {
+		inner *= x.Shape()[d]
+	}
+	xd := x.Data()
+	outs := make([]*tensor.Tensor, len(sizes))
+	offset := 0
+	for p, sz := range sizes {
+		shape := x.Shape().Clone()
+		shape[axis] = sz
+		t := tensor.Zeros(shape...)
+		td := t.Data()
+		for o := 0; o < outer; o++ {
+			src := (o*axisLen + offset) * inner
+			dst := o * sz * inner
+			copy(td[dst:dst+sz*inner], xd[src:src+sz*inner])
+		}
+		outs[p] = t
+		offset += sz
+	}
+	return outs, nil
+}
+
+// Unsqueeze inserts size-1 dimensions at the attribute "axes" positions.
+func Unsqueeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Unsqueeze", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axes := attrs.Ints("axes", nil)
+	outRank := x.Rank() + len(axes)
+	insert := make([]bool, outRank)
+	for _, a := range axes {
+		if a < 0 {
+			a += outRank
+		}
+		if a < 0 || a >= outRank || insert[a] {
+			return nil, argErr("Unsqueeze", "invalid axes %v", axes)
+		}
+		insert[a] = true
+	}
+	shape := make([]int, 0, outRank)
+	src := 0
+	for d := 0; d < outRank; d++ {
+		if insert[d] {
+			shape = append(shape, 1)
+		} else {
+			shape = append(shape, x.Shape()[src])
+			src++
+		}
+	}
+	r, err := x.Clone().Reshape(shape...)
+	if err != nil {
+		return nil, argErr("Unsqueeze", "%v", err)
+	}
+	return []*tensor.Tensor{r}, nil
+}
+
+// Squeeze removes size-1 dimensions, either those in attribute "axes" or
+// all of them when absent.
+func Squeeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Squeeze", in, 1, 1); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axes := attrs.Ints("axes", nil)
+	remove := make([]bool, x.Rank())
+	if axes == nil {
+		for d, e := range x.Shape() {
+			remove[d] = e == 1
+		}
+	} else {
+		for _, a := range axes {
+			if a < 0 {
+				a += x.Rank()
+			}
+			if a < 0 || a >= x.Rank() || x.Shape()[a] != 1 {
+				return nil, argErr("Squeeze", "axis %v is not a unit dimension of %v", axes, x.Shape())
+			}
+			remove[a] = true
+		}
+	}
+	shape := []int{}
+	for d, e := range x.Shape() {
+		if !remove[d] {
+			shape = append(shape, e)
+		}
+	}
+	r, err := x.Clone().Reshape(shape...)
+	if err != nil {
+		return nil, argErr("Squeeze", "%v", err)
+	}
+	return []*tensor.Tensor{r}, nil
+}
+
+// ShapeOp returns the input's shape as a rank-1 float tensor (floats stand
+// in for int64 in this engine).
+func ShapeOp(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+	if err := need("Shape", in, 1, 1); err != nil {
+		return nil, err
+	}
+	s := in[0].Shape()
+	out := tensor.Zeros(len(s))
+	for i, d := range s {
+		out.Data()[i] = float32(d)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// Constant materializes its attribute "value" ([]float32) with optional
+// attribute "shape"; it has no tensor inputs.
+func Constant(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+	if len(in) != 0 {
+		return nil, argErr("Constant", "takes no inputs, got %d", len(in))
+	}
+	vals := attrs.Floats("value", nil)
+	if vals == nil {
+		return nil, argErr("Constant", "missing value attribute")
+	}
+	shape := attrs.Ints("shape", []int{len(vals)})
+	s := tensor.NewShape(shape...)
+	if s.Numel() != len(vals) {
+		return nil, argErr("Constant", "shape %v incompatible with %d values", s, len(vals))
+	}
+	d := make([]float32, len(vals))
+	copy(d, vals)
+	return []*tensor.Tensor{tensor.New(s, d)}, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

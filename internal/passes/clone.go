@@ -1,0 +1,211 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// CloneOptions bounds the task-cloning pass (Section III-D warns cloning
+// can blow up graph size exponentially, so it must be applied "with care
+// and in limited setting").
+type CloneOptions struct {
+	// MaxConeCost caps the total model cost of the ancestor cone that may
+	// be duplicated per consumer (the redundant computation budget).
+	MaxConeCost float64
+	// MaxConeNodes caps the node count of a duplicated cone.
+	MaxConeNodes int
+	// MaxFanout: only values with at most this many consumers are cloned.
+	MaxFanout int
+	// TopFraction restricts cloning to nodes in the top part of the graph
+	// (distance-to-end above this fraction of the maximum), matching the
+	// paper's "mostly at the top half" policy. 0.5 means top half.
+	TopFraction float64
+	// MaxClones caps total nodes added to the graph.
+	MaxClones int
+}
+
+// DefaultCloneOptions mirrors the paper's restricted setting.
+func DefaultCloneOptions() CloneOptions {
+	return CloneOptions{MaxConeCost: 40, MaxConeNodes: 16, MaxFanout: 4, TopFraction: 0.5, MaxClones: 128}
+}
+
+// CloneReport summarizes a cloning run.
+type CloneReport struct {
+	// ClonedNodes counts fan-out nodes whose cones were replicated.
+	ClonedNodes int
+	// AddedNodes counts replica nodes added to the graph.
+	AddedNodes int
+}
+
+// CloneTasks performs task duplication in the style of Kruatrachue &
+// Lewis's grain packing, the technique the paper applies "mostly at the top
+// half of the dataflow graphs": for a cheap fan-out node near the graph
+// top whose ancestor cone reaches only graph inputs and initializers, every
+// consumer beyond the first receives a private replica of the node TOGETHER
+// WITH its whole ancestor cone. Because the duplicated cone consumes only
+// values that are available in every cluster (inputs and weights), the
+// tensor dependence that previously crossed clusters disappears entirely —
+// redundant computation traded for communication, which is the only trade
+// under which duplication wins.
+func CloneTasks(g *graph.Graph, m cost.Model, opts CloneOptions) (CloneReport, error) {
+	dist, err := cost.DistanceToEnd(g, m)
+	if err != nil {
+		return CloneReport{}, err
+	}
+	var maxDist float64
+	for _, d := range dist {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	threshold := maxDist * opts.TopFraction
+
+	// cone returns n's ancestor closure including n (nil when it exceeds
+	// the budget), in topological order.
+	cone := func(n *graph.Node) []*graph.Node {
+		var out []*graph.Node
+		seen := map[*graph.Node]bool{}
+		var total float64
+		stack := []*graph.Node{n}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			out = append(out, cur)
+			total += m.NodeCost(cur)
+			if len(out) > opts.MaxConeNodes || total > opts.MaxConeCost {
+				return nil
+			}
+			stack = append(stack, g.Predecessors(cur)...)
+		}
+		// Topological order within the cone: sort by graph ID (IDs are
+		// assigned in insertion order which Reindex keeps topological for
+		// builder-produced graphs; to be safe, order by distance
+		// descending, which is a valid topological order for a cone).
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && dist[out[j]] > dist[out[j-1]]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+
+	report := CloneReport{}
+	// Candidate snapshot: mutation below invalidates adjacency.
+	type candidate struct {
+		node      *graph.Node
+		cone      []*graph.Node
+		consumers []*graph.Node
+	}
+	var cands []candidate
+	for _, n := range g.Nodes {
+		if dist[n] < threshold {
+			continue
+		}
+		if len(n.Outputs) != 1 || g.IsGraphOutput(n.Outputs[0]) {
+			continue
+		}
+		consumers := g.Consumers(n.Outputs[0])
+		if len(consumers) < 2 || len(consumers) > opts.MaxFanout {
+			continue
+		}
+		cn := cone(n)
+		if cn == nil {
+			continue
+		}
+		// Every cone member other than n itself must feed only inside the
+		// cone (otherwise duplication would not remove its out-edges and
+		// the replica would add messages instead of removing them).
+		inCone := map[*graph.Node]bool{}
+		for _, c := range cn {
+			inCone[c] = true
+		}
+		ok := true
+		for _, c := range cn {
+			if c == n {
+				continue
+			}
+			for _, s := range g.Successors(c) {
+				if !inCone[s] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cands = append(cands, candidate{n, cn, append([]*graph.Node(nil), consumers...)})
+	}
+
+	cloned := map[*graph.Node]bool{}
+	for _, cand := range cands {
+		if report.AddedNodes >= opts.MaxClones {
+			break
+		}
+		// Skip overlapping candidates: a node already duplicated as part
+		// of another cone would double-replicate.
+		overlap := false
+		for _, c := range cand.cone {
+			if cloned[c] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		if report.AddedNodes+len(cand.cone)*(len(cand.consumers)-1) > opts.MaxClones {
+			continue
+		}
+		outName := cand.node.Outputs[0]
+		for ci, consumer := range cand.consumers[1:] {
+			// Replicate the cone privately for this consumer.
+			rename := map[string]string{}
+			for _, c := range cand.cone {
+				cloneName := fmt.Sprintf("%s_clone%d_%d", c.Name, ci+1, c.ID)
+				ins := make([]string, len(c.Inputs))
+				for i, in := range c.Inputs {
+					if r, ok := rename[in]; ok {
+						ins[i] = r
+					} else {
+						ins[i] = in // graph input or initializer: shared
+					}
+				}
+				outs := make([]string, len(c.Outputs))
+				for i, o := range c.Outputs {
+					r := fmt.Sprintf("%s_clone%d_%d", o, ci+1, c.ID)
+					rename[o] = r
+					outs[i] = r
+				}
+				g.AddNode(cloneName, c.OpType, ins, outs, c.Attrs.Clone())
+				report.AddedNodes++
+			}
+			for j, in := range consumer.Inputs {
+				if in == outName {
+					consumer.Inputs[j] = rename[outName]
+				}
+			}
+		}
+		for _, c := range cand.cone {
+			cloned[c] = true
+		}
+		report.ClonedNodes++
+	}
+	if report.AddedNodes > 0 {
+		g.Invalidate()
+		g.Reindex()
+		if err := g.Validate(); err != nil {
+			return report, fmt.Errorf("passes: cloning corrupted graph: %w", err)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,252 @@
+package passes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// constGraph has a live path (x -> Relu -> out) plus a constant chain
+// (Constant -> Mul -> Add) feeding a Reshape on the live path, the pattern
+// of the paper's Fig. 6.
+func constGraph() *graph.Graph {
+	g := graph.New("constg")
+	g.Inputs = []graph.ValueInfo{{Name: "x", Shape: tensor.Shape{2, 3}}}
+	g.AddInitializer("one", tensor.FromSlice([]float32{1, 1}))
+	g.AddInitializer("zero", tensor.FromSlice([]float32{0, 0}))
+	g.AddNode("c", "Constant", nil, []string{"vc"}, ops.Attrs{"value": []float32{2, 3}, "shape": []int{2}})
+	g.AddNode("m", "Mul", []string{"vc", "one"}, []string{"vm"}, nil)
+	g.AddNode("a", "Add", []string{"vm", "zero"}, []string{"vshape"}, nil)
+	g.AddNode("r", "Relu", []string{"x"}, []string{"vr"}, nil)
+	g.AddNode("rs", "Reshape", []string{"vr", "vshape"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	return g
+}
+
+func TestFoldConstantsFoldsChain(t *testing.T) {
+	g := constGraph()
+	rep, err := FoldConstants(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant, Mul, Add fold; then Reshape's inputs are x (live) so the
+	// Reshape itself stays.
+	if rep.Folded != 3 {
+		t.Errorf("folded %d nodes, want 3", rep.Folded)
+	}
+	if !g.IsInitializer("vshape") {
+		t.Error("vshape not materialized as initializer")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	g := constGraph()
+	feeds := exec.Env{"x": tensor.New(tensor.Shape{2, 3}, []float32{-1, 2, -3, 4, -5, 6})}
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prune(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["out"].Equal(want["out"]) {
+		t.Error("pruning changed observable output")
+	}
+}
+
+func TestDCERemovesUnreachable(t *testing.T) {
+	g := constGraph()
+	// Dangling subgraph not reaching any output.
+	g.AddNode("dead1", "Relu", []string{"x"}, []string{"vd1"}, nil)
+	g.AddNode("dead2", "Sigmoid", []string{"vd1"}, []string{"vd2"}, nil)
+	g.AddInitializer("unused", tensor.Zeros(3))
+	rep := EliminateDeadCode(g)
+	if rep.RemovedNodes != 2 {
+		t.Errorf("removed %d nodes, want 2", rep.RemovedNodes)
+	}
+	if rep.RemovedInitializers != 1 {
+		t.Errorf("removed %d initializers, want 1", rep.RemovedInitializers)
+	}
+	if g.NodeByName("dead1") != nil || g.NodeByName("dead2") != nil {
+		t.Error("dead nodes survived")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCEKeepsLiveNodes(t *testing.T) {
+	g := constGraph()
+	n := len(g.Nodes)
+	rep := EliminateDeadCode(g)
+	if rep.RemovedNodes != 0 || len(g.Nodes) != n {
+		t.Errorf("DCE removed live nodes: %+v", rep)
+	}
+}
+
+func TestPruneFixedPoint(t *testing.T) {
+	g := constGraph()
+	if _, err := Prune(g); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Prune(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Fold.Folded != 0 || rep2.DCE.RemovedNodes != 0 {
+		t.Errorf("second prune still changed graph: %+v", rep2)
+	}
+}
+
+func TestPruneYoloReducesNodes(t *testing.T) {
+	// The paper's Table III models: Yolo/BERT/NASNet carry constants.
+	for _, name := range []string{"yolo_v5", "bert", "nasnet"} {
+		g := models.MustBuild(name, models.Config{})
+		before := len(g.Nodes)
+		rep, err := Prune(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Fold.Folded == 0 {
+			t.Errorf("%s: no constants folded", name)
+		}
+		if len(g.Nodes) >= before {
+			t.Errorf("%s: prune did not shrink graph (%d → %d)", name, before, len(g.Nodes))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPruneInceptionNoConstants(t *testing.T) {
+	// Squeezenet/GoogleNet/Inception "do not demonstrate the presence of
+	// constants" (Section V-C).
+	for _, name := range []string{"squeezenet", "googlenet", "inception_v3"} {
+		g := models.MustBuild(name, models.Config{})
+		rep, err := Prune(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Fold.Folded != 0 || rep.DCE.RemovedNodes != 0 {
+			t.Errorf("%s: unexpected pruning %+v", name, rep)
+		}
+	}
+}
+
+func TestCloneTasksRewiresFanout(t *testing.T) {
+	g := graph.New("fan")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("src", "Relu", []string{"x"}, []string{"vs"}, nil)
+	g.AddNode("u1", "Sigmoid", []string{"vs"}, []string{"v1"}, nil)
+	g.AddNode("u2", "Neg", []string{"vs"}, []string{"v2"}, nil)
+	g.AddNode("u3", "Exp", []string{"vs"}, []string{"v3"}, nil)
+	g.AddNode("join", "Add", []string{"v1", "v2"}, []string{"vj"}, nil)
+	g.AddNode("join2", "Add", []string{"vj", "v3"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+
+	m := cost.DefaultModel()
+	rep, err := CloneTasks(g, m, CloneOptions{MaxConeCost: 5, MaxConeNodes: 4, MaxFanout: 4, TopFraction: 0, MaxClones: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClonedNodes == 0 || rep.AddedNodes != 2 {
+		t.Fatalf("clone report %+v, want 2 added replicas of src", rep)
+	}
+	// After cloning, vs has exactly one consumer.
+	if len(g.Consumers("vs")) != 1 {
+		t.Errorf("vs still has %d consumers", len(g.Consumers("vs")))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClonePreservesSemantics(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{})
+	feeds := models.RandomInputs(g, 5)
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CloneTasks(g, cost.DefaultModel(), DefaultCloneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AddedNodes == 0 {
+		t.Error("no clones made on squeezenet")
+	}
+	got, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if !got[k].AllClose(w, 1e-5, 1e-6) {
+			t.Errorf("output %s changed after cloning", k)
+		}
+	}
+}
+
+func TestCloneRespectsMaxClones(t *testing.T) {
+	g := models.MustBuild("inception_v3", models.Config{})
+	opts := DefaultCloneOptions()
+	opts.MaxClones = 3
+	rep, err := CloneTasks(g, cost.DefaultModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AddedNodes > 3 {
+		t.Errorf("added %d clones, cap 3", rep.AddedNodes)
+	}
+}
+
+func TestCloneSkipsExpensiveNodes(t *testing.T) {
+	g := graph.New("heavy")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("conv", "Conv", []string{"x"}, []string{"vc"}, ops.Attrs{"kernel_shape": []int{7, 7}})
+	g.AddNode("u1", "Relu", []string{"vc"}, []string{"v1"}, nil)
+	g.AddNode("u2", "Relu", []string{"vc"}, []string{"v2"}, nil)
+	g.AddNode("j", "Add", []string{"v1", "v2"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	opts := DefaultCloneOptions()
+	opts.MaxConeCost = 10 // below the 7x7 conv's weight
+	rep, err := CloneTasks(g, cost.DefaultModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClonedNodes != 0 {
+		t.Errorf("expensive conv was cloned: %+v", rep)
+	}
+}
+
+// Property: prune never breaks validity or changes the live output set on
+// random DAGs (all of whose sinks are outputs, so DCE should be a no-op on
+// nodes; folding may still remove constant-only prefixes — RandomDAG has
+// none, so Prune must be an identity).
+func TestPruneIdentityOnRandomDAGs(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := graph.RandomDAG(tensor.NewRNG(uint64(seed)+29), 30)
+		n := len(g.Nodes)
+		rep, err := Prune(g)
+		if err != nil {
+			return false
+		}
+		return rep.Fold.Folded == 0 && len(g.Nodes) == n && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The passes in this file implement the paper's "future work: more powerful
+// optimizations for graph reductions": operator fusion, common-subexpression
+// elimination and algebraic identity removal. All are semantics-preserving
+// graph rewrites that run before clustering.
+
+// FuseReport summarizes an operator-fusion run.
+type FuseReport struct {
+	// Fused counts producer/consumer pairs merged into one node.
+	Fused int
+}
+
+// fusablePairs lists producer→consumer op pairs that collapse into the
+// producer's cluster granule: the activation is absorbed into the compute
+// op, which removes one node and one (potentially cross-cluster) edge.
+// Since this engine executes ops individually, fusion is represented as a
+// "Fused" attribute chain on the surviving node executed back-to-back —
+// the clustering-relevant effect (one schedulable unit, no edge) is what
+// matters for task parallelism.
+// Only attribute-free unary activations are fusable, so the executor can
+// replay the epilogue chain without attribute plumbing.
+var fusablePairs = map[string]map[string]bool{
+	"Conv":               {"Relu": true, "Sigmoid": true, "Tanh": true},
+	"Gemm":               {"Relu": true, "Tanh": true, "Sigmoid": true},
+	"MatMul":             {"Relu": true},
+	"BatchNormalization": {"Relu": true},
+	"Add":                {"Relu": true},
+}
+
+// epilogueAttr is the attribute under which a fused node records its
+// activation epilogue chain (executed by the runtime after the main op).
+const epilogueAttr = "fused_epilogue"
+
+// FuseOperators merges eligible producer→activation pairs where the
+// producer's output has exactly one consumer and is not a graph output.
+// Runs to a local fixed point in one topological sweep (a fused node can
+// absorb a following activation again, enabling Conv+BN+Relu chains when
+// applied iteratively by Reduce).
+func FuseOperators(g *graph.Graph) (FuseReport, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return FuseReport{}, err
+	}
+	report := FuseReport{}
+	removed := map[*graph.Node]bool{}
+	for _, n := range order {
+		if removed[n] {
+			continue
+		}
+		followers, ok := fusablePairs[n.OpType]
+		if !ok {
+			continue
+		}
+		for {
+			if len(n.Outputs) != 1 || g.IsGraphOutput(n.Outputs[0]) {
+				break
+			}
+			consumers := g.Consumers(n.Outputs[0])
+			if len(consumers) != 1 {
+				break
+			}
+			c := consumers[0]
+			if removed[c] || !followers[c.OpType] || len(c.Inputs) != 1 || len(c.Outputs) != 1 {
+				break
+			}
+			// Absorb c: n now produces c's output directly and records the
+			// epilogue op (plus its attrs, flattened with a prefix).
+			chain := n.Attrs.Str(epilogueAttr, "")
+			if chain == "" {
+				chain = c.OpType
+			} else {
+				chain += "+" + c.OpType
+			}
+			if n.Attrs == nil {
+				n.Attrs = map[string]any{}
+			}
+			n.Attrs[epilogueAttr] = chain
+			n.Outputs[0] = c.Outputs[0]
+			removed[c] = true
+			report.Fused++
+			g.Invalidate()
+		}
+	}
+	if report.Fused > 0 {
+		g.RemoveNodes(func(n *graph.Node) bool { return removed[n] })
+		if err := g.Validate(); err != nil {
+			return report, fmt.Errorf("passes: fusion corrupted graph: %w", err)
+		}
+	}
+	return report, nil
+}
+
+// Epilogue returns the fused activation chain of a node ("" when none),
+// for executors that want to apply it.
+func Epilogue(n *graph.Node) []string {
+	chain := n.Attrs.Str(epilogueAttr, "")
+	if chain == "" {
+		return nil
+	}
+	return strings.Split(chain, "+")
+}
+
+// CSEReport summarizes a common-subexpression-elimination run.
+type CSEReport struct {
+	// Merged counts duplicate nodes removed.
+	Merged int
+}
+
+// EliminateCommonSubexpressions merges structurally identical nodes: same
+// op type, same input value names (order-sensitive) and equal attributes.
+// The survivor is the earlier node; later duplicates' outputs are rewired
+// to it. Useful after cloning or on exporter graphs that duplicate shape
+// arithmetic.
+func EliminateCommonSubexpressions(g *graph.Graph) (CSEReport, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return CSEReport{}, err
+	}
+	report := CSEReport{}
+	for {
+		seen := map[string]*graph.Node{}
+		rename := map[string]string{}
+		removed := map[*graph.Node]bool{}
+		for _, n := range order {
+			if removed[n] {
+				continue
+			}
+			// Apply pending renames so chains of duplicates collapse in
+			// one sweep.
+			for i, in := range n.Inputs {
+				if r, ok := rename[in]; ok {
+					n.Inputs[i] = r
+				}
+			}
+			if n.OpType == "Constant" && len(n.Attrs) > 64 {
+				// Hashing giant constant payloads is not worth it.
+				continue
+			}
+			key := cseKey(n)
+			if prev, dup := seen[key]; dup && len(prev.Outputs) == len(n.Outputs) {
+				outputsFree := true
+				for _, o := range n.Outputs {
+					if g.IsGraphOutput(o) {
+						outputsFree = false
+						break
+					}
+				}
+				if outputsFree {
+					for i, o := range n.Outputs {
+						rename[o] = prev.Outputs[i]
+					}
+					removed[n] = true
+					report.Merged++
+					continue
+				}
+			}
+			seen[key] = n
+		}
+		if len(removed) == 0 {
+			break
+		}
+		// Final rename propagation over every node (consumers later in
+		// `order` were handled; re-check all for safety).
+		for _, n := range g.Nodes {
+			for i, in := range n.Inputs {
+				if r, ok := rename[in]; ok {
+					n.Inputs[i] = r
+				}
+			}
+		}
+		g.RemoveNodes(func(n *graph.Node) bool { return removed[n] })
+		order, err = g.TopoSort()
+		if err != nil {
+			return report, err
+		}
+	}
+	if report.Merged > 0 {
+		if err := g.Validate(); err != nil {
+			return report, fmt.Errorf("passes: CSE corrupted graph: %w", err)
+		}
+	}
+	return report, nil
+}
+
+// cseKey builds a structural hash key for a node.
+func cseKey(n *graph.Node) string {
+	var b strings.Builder
+	b.WriteString(n.OpType)
+	b.WriteByte('|')
+	b.WriteString(strings.Join(n.Inputs, ","))
+	b.WriteByte('|')
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v;", k, n.Attrs[k])
+	}
+	return b.String()
+}
+
+// IdentityReport summarizes identity-removal.
+type IdentityReport struct {
+	// Removed counts Identity (and no-op Reshape) nodes eliminated.
+	Removed int
+}
+
+// RemoveIdentities deletes Identity nodes (and Reshape nodes whose shape
+// input is a constant equal to the producer's inferred shape when known),
+// rewiring consumers to the identity's input. Graph outputs produced by an
+// identity keep the node (removing it would rename the output).
+func RemoveIdentities(g *graph.Graph) (IdentityReport, error) {
+	report := IdentityReport{}
+	rename := map[string]string{}
+	removed := map[*graph.Node]bool{}
+	for _, n := range g.Nodes {
+		if n.OpType != "Identity" || len(n.Inputs) != 1 || len(n.Outputs) != 1 {
+			continue
+		}
+		if g.IsGraphOutput(n.Outputs[0]) {
+			continue
+		}
+		src := n.Inputs[0]
+		if r, ok := rename[src]; ok {
+			src = r
+		}
+		rename[n.Outputs[0]] = src
+		removed[n] = true
+		report.Removed++
+	}
+	if report.Removed == 0 {
+		return report, nil
+	}
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if r, ok := rename[in]; ok {
+				n.Inputs[i] = r
+			}
+		}
+	}
+	g.RemoveNodes(func(n *graph.Node) bool { return removed[n] })
+	if err := g.Validate(); err != nil {
+		return report, fmt.Errorf("passes: identity removal corrupted graph: %w", err)
+	}
+	return report, nil
+}
+
+// ReduceReport aggregates the full graph-reduction pipeline.
+type ReduceReport struct {
+	Prune    PruneReport
+	CSE      CSEReport
+	Identity IdentityReport
+	Fuse     FuseReport
+}
+
+// Reduce runs the complete reduction pipeline to a fixed point: constant
+// propagation + DCE, identity removal and CSE, with optional operator
+// fusion last (fusion changes op granularity, so it runs once, after the
+// structural rewrites converge).
+func Reduce(g *graph.Graph, fuse bool) (ReduceReport, error) {
+	total := ReduceReport{}
+	for {
+		pr, err := Prune(g)
+		if err != nil {
+			return total, err
+		}
+		ir, err := RemoveIdentities(g)
+		if err != nil {
+			return total, err
+		}
+		cr, err := EliminateCommonSubexpressions(g)
+		if err != nil {
+			return total, err
+		}
+		total.Prune.Fold.Folded += pr.Fold.Folded
+		total.Prune.DCE.RemovedNodes += pr.DCE.RemovedNodes
+		total.Prune.DCE.RemovedInitializers += pr.DCE.RemovedInitializers
+		total.Identity.Removed += ir.Removed
+		total.CSE.Merged += cr.Merged
+		if pr.Fold.Folded == 0 && pr.DCE.RemovedNodes == 0 && ir.Removed == 0 && cr.Merged == 0 {
+			break
+		}
+	}
+	if fuse {
+		fr, err := FuseOperators(g)
+		if err != nil {
+			return total, err
+		}
+		total.Fuse = fr
+		// Fusion can orphan nothing, but a final DCE keeps invariants.
+		dr := EliminateDeadCode(g)
+		total.Prune.DCE.RemovedNodes += dr.RemovedNodes
+		total.Prune.DCE.RemovedInitializers += dr.RemovedInitializers
+	}
+	return total, nil
+}

@@ -1,0 +1,193 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func TestFuseConvRelu(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	feeds := models.RandomInputs(g, 3)
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(g.Nodes)
+	rep, err := FuseOperators(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fused == 0 {
+		t.Fatal("no Conv+Relu pairs fused in squeezenet")
+	}
+	if len(g.Nodes) != before-rep.Fused {
+		t.Errorf("node count %d, want %d", len(g.Nodes), before-rep.Fused)
+	}
+	got, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if !got[k].AllClose(w, 1e-5, 1e-6) {
+			t.Errorf("fusion changed output %s", k)
+		}
+	}
+}
+
+func TestFuseSkipsFanout(t *testing.T) {
+	// A conv whose output feeds two relus must not fuse (the value is
+	// needed twice).
+	g := graph.New("fan")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("c", "Conv", []string{"x", "w"}, []string{"vc"}, nil)
+	g.AddInitializer("w", tensor.Zeros(1, 1, 1, 1))
+	g.AddNode("r1", "Relu", []string{"vc"}, []string{"v1"}, nil)
+	g.AddNode("r2", "Relu", []string{"vc"}, []string{"v2"}, nil)
+	g.AddNode("j", "Add", []string{"v1", "v2"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	rep, err := FuseOperators(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fused != 0 {
+		t.Errorf("fused across fan-out: %+v", rep)
+	}
+}
+
+func TestEpilogueHelper(t *testing.T) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	if _, err := FuseOperators(g); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range g.Nodes {
+		if ep := Epilogue(n); len(ep) > 0 {
+			found = true
+			if ep[0] != "Relu" {
+				t.Errorf("unexpected epilogue %v", ep)
+			}
+		}
+	}
+	if !found {
+		t.Error("no node carries an epilogue after fusion")
+	}
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	g := graph.New("dup")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("a1", "Relu", []string{"x"}, []string{"v1"}, nil)
+	g.AddNode("a2", "Relu", []string{"x"}, []string{"v2"}, nil) // duplicate of a1
+	g.AddNode("b1", "Sigmoid", []string{"v1"}, []string{"w1"}, nil)
+	g.AddNode("b2", "Sigmoid", []string{"v2"}, []string{"w2"}, nil) // dup after rename
+	g.AddNode("j", "Add", []string{"w1", "w2"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	feeds := exec.Env{"x": tensor.FromSlice([]float32{-1, 2})}
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EliminateCommonSubexpressions(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merged != 2 {
+		t.Errorf("merged %d, want 2 (chain of duplicates)", rep.Merged)
+	}
+	got, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["out"].Equal(want["out"]) {
+		t.Error("CSE changed output")
+	}
+}
+
+func TestCSEKeepsDifferentAttrs(t *testing.T) {
+	g := graph.New("attrs")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("s1", "Softmax", []string{"x"}, []string{"v1"}, map[string]any{"axis": 0})
+	g.AddNode("s2", "Softmax", []string{"x"}, []string{"v2"}, map[string]any{"axis": 1})
+	g.AddNode("j", "Add", []string{"v1", "v2"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	rep, err := EliminateCommonSubexpressions(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merged != 0 {
+		t.Errorf("merged nodes with different attrs: %+v", rep)
+	}
+}
+
+func TestRemoveIdentities(t *testing.T) {
+	g := graph.New("ids")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddNode("r", "Relu", []string{"x"}, []string{"v1"}, nil)
+	g.AddNode("i1", "Identity", []string{"v1"}, []string{"v2"}, nil)
+	g.AddNode("i2", "Identity", []string{"v2"}, []string{"v3"}, nil)
+	g.AddNode("s", "Sigmoid", []string{"v3"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	feeds := exec.Env{"x": tensor.FromSlice([]float32{1, -1})}
+	want, _ := exec.RunSequential(g, feeds)
+	rep, err := RemoveIdentities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 2 {
+		t.Errorf("removed %d identities, want 2", rep.Removed)
+	}
+	got, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["out"].Equal(want["out"]) {
+		t.Error("identity removal changed output")
+	}
+	// Identity producing a graph output survives.
+	g2 := graph.New("keep")
+	g2.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g2.AddNode("i", "Identity", []string{"x"}, []string{"out"}, nil)
+	g2.Outputs = []graph.ValueInfo{{Name: "out"}}
+	rep2, err := RemoveIdentities(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Removed != 0 {
+		t.Error("removed identity that produces a graph output")
+	}
+}
+
+func TestReducePipelinePreservesSemantics(t *testing.T) {
+	for _, name := range []string{"yolo_v5", "bert"} {
+		g := models.MustBuild(name, models.Config{})
+		feeds := models.RandomInputs(g, 7)
+		want, err := exec.RunSequential(g, feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := len(g.Nodes)
+		rep, err := Reduce(g, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(g.Nodes) >= before {
+			t.Errorf("%s: Reduce did not shrink graph (%d → %d)", name, before, len(g.Nodes))
+		}
+		if rep.Fuse.Fused == 0 && rep.Prune.Fold.Folded == 0 {
+			t.Errorf("%s: Reduce did nothing: %+v", name, rep)
+		}
+		got, err := exec.RunSequential(g, feeds)
+		if err != nil {
+			t.Fatalf("%s after reduce: %v", name, err)
+		}
+		for k, w := range want {
+			if !got[k].AllClose(w, 1e-4, 1e-5) {
+				t.Errorf("%s: Reduce changed output %s", name, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package profile is the offline side of the paper's "profile database":
+// it serializes parallel-execution traces (per-lane busy/slack/message
+// counts from internal/exec) to JSON and computes the slack analysis that
+// motivates hyperclustering — which lanes idle, for how long, and how much
+// of the makespan messaging wait explains.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// LaneRecord is one lane's trace entry.
+type LaneRecord struct {
+	Lane  int           `json:"lane"`
+	Busy  time.Duration `json:"busy_ns"`
+	Slack time.Duration `json:"slack_ns"`
+	Sends int           `json:"sends"`
+	Recvs int           `json:"recvs"`
+}
+
+// Trace is a serializable execution profile.
+type Trace struct {
+	Model string        `json:"model"`
+	Wall  time.Duration `json:"wall_ns"`
+	Lanes []LaneRecord  `json:"lanes"`
+}
+
+// FromProfile converts an executor profile into a trace.
+func FromProfile(model string, p *exec.Profile) *Trace {
+	t := &Trace{Model: model, Wall: p.Wall}
+	for i, l := range p.Lanes {
+		t.Lanes = append(t.Lanes, LaneRecord{
+			Lane: i, Busy: l.Busy, Slack: l.Slack, Sends: l.Sends, Recvs: l.Recvs,
+		})
+	}
+	return t
+}
+
+// Save writes the trace as JSON.
+func (t *Trace) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a trace written by Save.
+func Load(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return &t, nil
+}
+
+// Analysis summarizes a trace.
+type Analysis struct {
+	// TotalBusy and TotalSlack aggregate across lanes.
+	TotalBusy, TotalSlack time.Duration
+	// SlackFraction is slack / (busy + slack): the share of lane time
+	// spent blocked on messages — the quantity hyperclustering attacks.
+	SlackFraction float64
+	// IdlestLane is the lane with the highest slack share (-1 if none).
+	IdlestLane int
+	// Messages is the total cross-cluster transfer count.
+	Messages int
+}
+
+// Analyze computes the slack summary.
+func (t *Trace) Analyze() Analysis {
+	a := Analysis{IdlestLane: -1}
+	worst := -1.0
+	for _, l := range t.Lanes {
+		a.TotalBusy += l.Busy
+		a.TotalSlack += l.Slack
+		a.Messages += l.Sends
+		total := l.Busy + l.Slack
+		if total > 0 {
+			frac := float64(l.Slack) / float64(total)
+			if frac > worst {
+				worst = frac
+				a.IdlestLane = l.Lane
+			}
+		}
+	}
+	if sum := a.TotalBusy + a.TotalSlack; sum > 0 {
+		a.SlackFraction = float64(a.TotalSlack) / float64(sum)
+	}
+	return a
+}
+
+// String renders a one-paragraph report.
+func (a Analysis) String() string {
+	return fmt.Sprintf("busy %v, slack %v (%.0f%% of lane time), %d messages, idlest lane %d",
+		a.TotalBusy.Round(time.Microsecond), a.TotalSlack.Round(time.Microsecond),
+		a.SlackFraction*100, a.Messages, a.IdlestLane)
+}

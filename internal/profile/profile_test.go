@@ -1,0 +1,114 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	ramiel "repro"
+)
+
+func squeezeTrace(t *testing.T) *Trace {
+	t.Helper()
+	g, err := ramiel.BuildModel("squeezenet", ramiel.ModelConfig{ImageSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ramiel.Compile(g, ramiel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof, err := prog.RunProfiled(ramiel.RandomInputs(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromProfile("squeezenet", prof)
+}
+
+func TestFromProfileStructure(t *testing.T) {
+	tr := squeezeTrace(t)
+	if tr.Model != "squeezenet" || len(tr.Lanes) < 2 || tr.Wall <= 0 {
+		t.Fatalf("bad trace: %+v", tr)
+	}
+	for i, l := range tr.Lanes {
+		if l.Lane != i {
+			t.Errorf("lane %d numbered %d", i, l.Lane)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := squeezeTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != tr.Model || len(got.Lanes) != len(tr.Lanes) || got.Wall != tr.Wall {
+		t.Errorf("round trip changed trace: %+v vs %+v", got, tr)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{broken"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &Trace{
+		Model: "toy",
+		Lanes: []LaneRecord{
+			{Lane: 0, Busy: 80 * time.Millisecond, Slack: 20 * time.Millisecond, Sends: 3, Recvs: 1},
+			{Lane: 1, Busy: 10 * time.Millisecond, Slack: 90 * time.Millisecond, Sends: 1, Recvs: 3},
+		},
+	}
+	a := tr.Analyze()
+	if a.IdlestLane != 1 {
+		t.Errorf("idlest lane = %d", a.IdlestLane)
+	}
+	if a.Messages != 4 {
+		t.Errorf("messages = %d", a.Messages)
+	}
+	if a.SlackFraction < 0.5 || a.SlackFraction > 0.6 {
+		t.Errorf("slack fraction = %v", a.SlackFraction)
+	}
+	s := a.String()
+	for _, frag := range []string{"slack", "messages", "lane 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q: %s", frag, s)
+		}
+	}
+	// Empty trace does not divide by zero.
+	empty := (&Trace{}).Analyze()
+	if empty.SlackFraction != 0 || empty.IdlestLane != -1 {
+		t.Errorf("empty analysis: %+v", empty)
+	}
+}
+
+func TestRealTraceAnalyzes(t *testing.T) {
+	tr := squeezeTrace(t)
+	a := tr.Analyze()
+	if a.Messages == 0 {
+		t.Error("no messages recorded for a 2-cluster run")
+	}
+	if a.SlackFraction < 0 || a.SlackFraction > 1 {
+		t.Errorf("slack fraction out of range: %v", a.SlackFraction)
+	}
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// intraOpThreads is the process-wide degree of intra-operator parallelism,
+// the analogue of OMP_NUM_THREADS in the paper's PyTorch substrate. The
+// value 1 (the default) means kernels run serially inside the calling
+// goroutine, which is what batch-size-1 task parallelism wants: clusters
+// occupy one core each.
+var intraOpThreads atomic.Int64
+
+func init() { intraOpThreads.Store(1) }
+
+// SetIntraOpThreads sets the number of worker goroutines kernels may use.
+// Values below 1 are clamped to 1; values above runtime.NumCPU()*4 are
+// clamped to that bound to avoid pathological oversubscription in tests.
+func SetIntraOpThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if max := runtime.NumCPU() * 4; n > max {
+		n = max
+	}
+	intraOpThreads.Store(int64(n))
+}
+
+// IntraOpThreads returns the current intra-op parallelism degree.
+func IntraOpThreads() int { return int(intraOpThreads.Load()) }
+
+// ParallelFor runs body(i) for every i in [0, n) using up to
+// IntraOpThreads() goroutines, chunking the index space with the given
+// minimum grain so tiny loops stay serial. It is the single primitive on
+// which all intra-op parallel kernels are built.
+func ParallelFor(n, grain int, body func(i int)) {
+	ParallelRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelRange splits [0, n) into contiguous chunks of at least grain
+// iterations and invokes body(lo, hi) for each, possibly concurrently.
+// With IntraOpThreads() == 1 or n <= grain the body runs inline.
+func ParallelRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	threads := IntraOpThreads()
+	if threads == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > threads {
+		chunks = threads
+	}
+	if chunks < 2 {
+		body(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// WithIntraOpThreads runs f with the intra-op thread count temporarily set
+// to n, restoring the previous value afterwards. Only safe when no kernels
+// run concurrently with the change; benchmarks and examples use it.
+func WithIntraOpThreads(n int, f func()) {
+	prev := IntraOpThreads()
+	SetIntraOpThreads(n)
+	defer SetIntraOpThreads(prev)
+	f()
+}

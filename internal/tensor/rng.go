@@ -1,0 +1,98 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*) used to
+// fill weights and inputs reproducibly without importing math/rand, so the
+// exact same model parameters are regenerated on every run and on every
+// platform.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped so the
+// zero value is still usable).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 advances the generator and returns 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	if r.state == 0 {
+		r.state = 0x9E3779B97F4A7C15
+	}
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float32) float32 {
+	return lo + (hi-lo)*r.Float32()
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns an approximately standard-normal value using the
+// Box-Muller transform.
+func (r *RNG) Normal() float32 {
+	u1 := float64(r.Float32())
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := float64(r.Float32())
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// FillUniform fills t with uniform values in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float32) {
+	d := t.Data()
+	for i := range d {
+		d[i] = r.Uniform(lo, hi)
+	}
+}
+
+// FillNormal fills t with mean+std*N(0,1) values.
+func (r *RNG) FillNormal(t *Tensor, mean, std float32) {
+	d := t.Data()
+	for i := range d {
+		d[i] = mean + std*r.Normal()
+	}
+}
+
+// RandTensor allocates a tensor of the given shape filled with Kaiming-style
+// uniform values scaled by 1/sqrt(fanIn of the innermost dimension); handy
+// for generating synthetic weights whose activations stay well-conditioned.
+func (r *RNG) RandTensor(dims ...int) *Tensor {
+	t := Zeros(dims...)
+	fan := 1
+	if len(dims) > 0 {
+		fan = dims[len(dims)-1]
+		if len(dims) == 4 { // OIHW conv weight: fan-in = I*H*W
+			fan = dims[1] * dims[2] * dims[3]
+		}
+	}
+	if fan <= 0 {
+		fan = 1
+	}
+	bound := float32(1.0 / math.Sqrt(float64(fan)))
+	r.FillUniform(t, -bound, bound)
+	return t
+}

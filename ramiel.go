@@ -1,0 +1,262 @@
+package ramiel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/hyper"
+	"repro/internal/models"
+	"repro/internal/onnx"
+	"repro/internal/ops"
+	"repro/internal/passes"
+	"repro/internal/tensor"
+)
+
+// Re-exported core types so downstream code (including the generated
+// parallel programs) never imports internal packages directly.
+type (
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Shape is a tensor shape.
+	Shape = tensor.Shape
+	// Attrs holds operator attributes.
+	Attrs = ops.Attrs
+	// Env binds value names to tensors.
+	Env = exec.Env
+	// Graph is the dataflow-graph IR.
+	Graph = graph.Graph
+	// Node is one operator in a Graph.
+	Node = graph.Node
+	// ModelConfig controls zoo-model construction.
+	ModelConfig = models.Config
+	// CostModel assigns static weights to operators.
+	CostModel = cost.Model
+	// Metrics is the potential-parallelism report of Table I.
+	Metrics = cost.Metrics
+	// Profile is a parallel execution trace with per-lane slack.
+	Profile = exec.Profile
+	// SimResult is a simulated-makespan report.
+	SimResult = exec.SimResult
+	// CloneOptions bounds the task-cloning pass.
+	CloneOptions = passes.CloneOptions
+)
+
+// NewTensor wraps data (not copied) with the given shape.
+func NewTensor(shape Shape, data []float32) *Tensor { return tensor.New(shape, data) }
+
+// ZerosTensor allocates a zero-filled tensor.
+func ZerosTensor(dims ...int) *Tensor { return tensor.Zeros(dims...) }
+
+// NewShape builds a Shape from extents.
+func NewShape(dims ...int) Shape { return tensor.NewShape(dims...) }
+
+// BuildModel constructs one of the paper's eight evaluation models
+// ("squeezenet", "googlenet", "inception_v3", "inception_v4", "yolo_v5",
+// "retinanet", "bert", "nasnet").
+func BuildModel(name string, cfg ModelConfig) (*Graph, error) {
+	return models.Build(name, cfg)
+}
+
+// ModelNames lists the available zoo models.
+func ModelNames() []string { return models.Names() }
+
+// LoadModel reads an ONNX-subset model file (JSON, optionally .gz).
+func LoadModel(path string) (*Graph, error) { return onnx.LoadGraph(path) }
+
+// SaveModel writes g as an ONNX-subset model file.
+func SaveModel(g *Graph, path string) error { return onnx.SaveGraph(g, path) }
+
+// RandomInputs builds a deterministic valid feed for every graph input.
+func RandomInputs(g *Graph, seed uint64) Env { return models.RandomInputs(g, seed) }
+
+// DefaultCostModel returns the paper's static operator-weight table.
+func DefaultCostModel() CostModel { return cost.DefaultModel() }
+
+// SetIntraOpThreads sets the kernels' intra-operator parallelism degree,
+// the analogue of OMP_NUM_THREADS for the paper's downstream intra-op
+// experiments (Table V).
+func SetIntraOpThreads(n int) { tensor.SetIntraOpThreads(n) }
+
+// Options configures Compile.
+type Options struct {
+	// CostModel defaults to DefaultCostModel().
+	CostModel CostModel
+	// Prune runs constant propagation + dead-code elimination first
+	// (Section III-C).
+	Prune bool
+	// Clone runs limited task cloning before clustering (Section III-D).
+	Clone bool
+	// CloneOptions overrides the default cloning bounds.
+	CloneOptions *CloneOptions
+	// DisableMerge skips the cluster-merging pass (Algorithms 2-3); used
+	// by the merge ablation only.
+	DisableMerge bool
+}
+
+// Program is a compiled parallel program: the (possibly optimized) graph,
+// its clustering and the executable plan.
+type Program struct {
+	Graph      *Graph
+	Clustering *core.Clustering
+	Plan       *exec.Plan
+	// CompileTime is the full pipeline latency (the paper's CT column in
+	// Table VIII).
+	CompileTime time.Duration
+	// PruneReport / CloneReport record what the optimization passes did
+	// (zero values when the pass was disabled).
+	PruneReport passes.PruneReport
+	CloneReport passes.CloneReport
+}
+
+// Compile runs the Ramiel pipeline on a copy of g: optional pruning and
+// cloning, the distance pass, recursive critical-path linear clustering and
+// iterative cluster merging, finishing with an executable plan.
+func Compile(g *Graph, opts Options) (*Program, error) {
+	start := time.Now()
+	if opts.CostModel == nil {
+		opts.CostModel = cost.DefaultModel()
+	}
+	work := g.Clone()
+	p := &Program{Graph: work}
+	if opts.Prune {
+		pr, err := passes.Prune(work)
+		if err != nil {
+			return nil, fmt.Errorf("ramiel: prune: %w", err)
+		}
+		p.PruneReport = pr
+	}
+	if opts.Clone {
+		co := passes.DefaultCloneOptions()
+		if opts.CloneOptions != nil {
+			co = *opts.CloneOptions
+		}
+		cr, err := passes.CloneTasks(work, opts.CostModel, co)
+		if err != nil {
+			return nil, fmt.Errorf("ramiel: clone: %w", err)
+		}
+		p.CloneReport = cr
+	}
+	cl, err := core.LinearCluster(work, opts.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("ramiel: clustering: %w", err)
+	}
+	if !opts.DisableMerge {
+		cl.MergeClusters()
+	}
+	p.Clustering = cl
+	lanes := make([][]*graph.Node, len(cl.Clusters))
+	for i, c := range cl.Clusters {
+		lanes[i] = c.Nodes
+	}
+	plan, err := exec.NewPlan(work, lanes)
+	if err != nil {
+		return nil, fmt.Errorf("ramiel: planning: %w", err)
+	}
+	p.Plan = plan
+	p.CompileTime = time.Since(start)
+	return p, nil
+}
+
+// NumClusters returns the plan's lane count.
+func (p *Program) NumClusters() int { return len(p.Plan.Lanes) }
+
+// Run executes the program in parallel (one goroutine per cluster).
+func (p *Program) Run(feeds Env) (Env, error) { return p.Plan.Run(feeds) }
+
+// RunProfiled is Run plus the per-lane busy/slack profile.
+func (p *Program) RunProfiled(feeds Env) (Env, *Profile, error) {
+	return p.Plan.RunProfiled(feeds)
+}
+
+// RunSequential executes the program's graph on one goroutine — the
+// baseline every speedup in the paper is measured against.
+func (p *Program) RunSequential(feeds Env) (Env, error) {
+	return exec.RunSequential(p.Graph, feeds)
+}
+
+// Metrics computes the potential-parallelism factors of Table I for the
+// program's (optimized) graph.
+func (p *Program) Metrics() (Metrics, error) {
+	m := p.Clustering.Model
+	if m == nil {
+		m = cost.DefaultModel()
+	}
+	return cost.ComputeMetrics(p.Graph, m)
+}
+
+// Simulate computes the deterministic makespan of the plan under the
+// static cost model.
+func (p *Program) Simulate() (SimResult, error) {
+	m := cost.Model(nil)
+	if p.Clustering != nil {
+		m = p.Clustering.Model
+	}
+	if m == nil {
+		m = cost.DefaultModel()
+	}
+	return exec.Simulate(p.Plan, m)
+}
+
+// CodegenOptions configures GenerateGo.
+type CodegenOptions = codegen.Options
+
+// GenerateGo renders the program as readable parallel Go source: one
+// function per cluster with explicit queue Send/Recv messaging, plus the
+// sequential reference version (Section IV, Algorithm 4).
+func (p *Program) GenerateGo(opts CodegenOptions) (string, error) {
+	return codegen.Generate(p.Graph, p.Plan.Lanes, opts)
+}
+
+// Hypercluster builds a batch>1 program from this one (Section III-E):
+// the graph is replicated per sample and each cluster's operations are
+// interleaved across samples; switched additionally rotates cluster
+// assignments per sample for load balance (Fig. 9).
+func (p *Program) Hypercluster(batch int, switched bool) (*Program, error) {
+	if p.Clustering == nil {
+		return nil, fmt.Errorf("ramiel: program has no clustering to hypercluster")
+	}
+	var (
+		h   *hyper.Hyperclustering
+		err error
+	)
+	if switched {
+		h, err = hyper.BuildSwitched(p.Clustering, batch)
+	} else {
+		h, err = hyper.Build(p.Clustering, batch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan, err := exec.NewPlanOrdered(h.Graph, h.Lanes)
+	if err != nil {
+		// Interleavings that would deadlock fall back to a topologically
+		// re-sorted plan with the same lane membership.
+		plan, err = exec.NewPlan(h.Graph, h.Lanes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Program{
+		Graph:       h.Graph,
+		Plan:        plan,
+		CompileTime: p.CompileTime,
+	}, nil
+}
+
+// Call invokes a registered operator kernel by its ONNX-style name; the
+// generated parallel code is written in terms of Call.
+func Call(op string, in []*Tensor, attrs Attrs) ([]*Tensor, error) {
+	k, err := ops.Lookup(op)
+	if err != nil {
+		return nil, err
+	}
+	return k(in, attrs)
+}
+
+// SupportedOps lists every registered operator type.
+func SupportedOps() []string { return ops.Names() }
