@@ -1,7 +1,9 @@
 package ramiel_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	ramiel "repro"
 	"repro/internal/bench"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/models"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -141,6 +144,80 @@ func benchConv(b *testing.B, threads int) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ramiel.Call("Conv", []*ramiel.Tensor{x, w},
 			ramiel.Attrs{"pads": []int{1, 1, 1, 1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Serving benches: requests/sec through the serving runtime (compile-once
+// program cache, concurrent clients) against the naive compile-per-request
+// baseline the cache exists to beat.
+
+func BenchmarkServeThroughput(b *testing.B) {
+	s := serve.New(serve.Config{MaxBatch: 4, FlushTimeout: 500 * time.Microsecond})
+	defer s.Close(context.Background())
+	if err := s.RegisterZoo(ramiel.ModelConfig{ImageSize: 16}, "squeezenet"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	feeds, err := s.RandomFeeds("squeezenet", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 8 clients per core: micro-batching only coalesces under concurrent
+	// load, so the client count must not collapse on small hosts.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, false); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Registry().Stats()
+	b.ReportMetric(float64(st.Compiles), "compiles")
+}
+
+func BenchmarkServeThroughputNoBatch(b *testing.B) {
+	s := serve.New(serve.Config{MaxBatch: 1})
+	defer s.Close(context.Background())
+	if err := s.RegisterZoo(ramiel.ModelConfig{ImageSize: 16}, "squeezenet"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	feeds, err := s.RandomFeeds("squeezenet", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkServeCompilePerRequest(b *testing.B) {
+	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
+	feeds := ramiel.RandomInputs(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := ramiel.Compile(g, ramiel.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := prog.Run(feeds); err != nil {
 			b.Fatal(err)
 		}
 	}

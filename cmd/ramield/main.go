@@ -1,0 +1,118 @@
+// Command ramield is the Ramiel inference-serving daemon: it preloads zoo
+// and/or ONNX-subset models, compiles each requested (model, batch) variant
+// exactly once, and serves concurrent HTTP/JSON inference with dynamic
+// micro-batching through hyperclustered plans (Section III-E).
+//
+// Examples:
+//
+//	ramield -models squeezenet,googlenet
+//	ramield -models bert -prune -max-batch 8 -flush 3ms -switched
+//	ramield -load mymodel=path/to/model.onnx.json.gz -addr :9090
+//
+//	curl localhost:8080/v1/models
+//	curl -X POST localhost:8080/v1/infer -d '{"model":"squeezenet","seed":1}'
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ramield: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	modelsFlag := flag.String("models", "squeezenet,googlenet",
+		"comma-separated zoo models to serve ("+strings.Join(ramiel.ModelNames(), ", ")+"); empty for all")
+	loads := flag.String("load", "", "comma-separated name=path pairs of ONNX-subset model files to serve")
+	img := flag.Int("img", 32, "image size for zoo vision models")
+
+	workers := flag.Int("workers", 0, "concurrent plan executions (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 4, "micro-batch cap (1 disables coalescing)")
+	flush := flag.Duration("flush", 2*time.Millisecond, "micro-batch flush timeout")
+	switched := flag.Bool("switched", false, "use switched hyperclustering for batch plans")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	prune := flag.Bool("prune", false, "compile with constant propagation + DCE")
+	clone := flag.Bool("clone", false, "compile with limited task cloning")
+	warm := flag.Bool("warm", true, "precompile batch-1 programs at startup")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		FlushTimeout: *flush,
+		Switched:     *switched,
+		Deadline:     *deadline,
+		Compile:      ramiel.Options{Prune: *prune, Clone: *clone},
+	})
+
+	var zoo []string
+	if *modelsFlag != "" {
+		zoo = strings.Split(*modelsFlag, ",")
+	}
+	if err := srv.RegisterZoo(ramiel.ModelConfig{ImageSize: *img}, zoo...); err != nil {
+		log.Fatal(err)
+	}
+	for _, pair := range strings.Split(*loads, ",") {
+		if pair == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("-load %q: want name=path", pair)
+		}
+		g, err := ramiel.LoadModel(path)
+		if err != nil {
+			log.Fatalf("loading %s: %v", path, err)
+		}
+		srv.RegisterGraph(name, g)
+	}
+
+	if *warm {
+		warmStart := time.Now()
+		if err := srv.Warm(); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		log.Printf("warmed %d models in %v", len(srv.Registry().Models()),
+			time.Since(warmStart).Round(time.Millisecond))
+	}
+	log.Printf("serving %v on %s (max-batch %d, flush %v)",
+		srv.Registry().Models(), *addr, *maxBatch, *flush)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		log.Printf("runtime shutdown: %v", err)
+	}
+	fmt.Println("bye")
+}

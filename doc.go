@@ -8,7 +8,9 @@
 //	model (ONNX-subset) ──► graph IR ──► prune (const-prop + DCE)
 //	     ──► clone ──► Linear Clustering + merging ──► hyperclusters (batch>1)
 //	     ──► parallel execution (goroutine per cluster, channel messages)
-//	        └─► readable generated Go code, one function per cluster
+//	        ├─► readable generated Go code, one function per cluster
+//	        └─► serving runtime (internal/serve + cmd/ramield): compile-once
+//	            program cache, worker pool, dynamic micro-batching over HTTP
 //
 // Quick start:
 //
@@ -16,6 +18,10 @@
 //	prog, _ := ramiel.Compile(g, ramiel.Options{Prune: true})
 //	outs, _ := prog.Run(ramiel.RandomInputs(g, 42))
 //
+// A compiled Program is safe for concurrent Run calls — the serving
+// invariant; see the Plan concurrency contract in internal/exec.
+//
 // See the examples/ directory for runnable end-to-end programs and
-// DESIGN.md for the system inventory and experiment index.
+// DESIGN.md for the system inventory, serving-layer architecture, ramield
+// quickstart and experiment index.
 package ramiel

@@ -13,6 +13,14 @@ import (
 // nodes into lanes (clusters), each lane's nodes in a dependency-respecting
 // order. It is produced from a core.Clustering but typed on plain node
 // slices so this package stays independent of the clustering package.
+//
+// Concurrency contract: once built, a Plan is immutable and Run/RunProfiled
+// may be called from any number of goroutines simultaneously on the same
+// Plan — the serving invariant (compile once, serve many). All routing
+// state shared between runs (lane membership, channel keys, per-node
+// send/receive schedules) is computed once and only read afterwards; each
+// run allocates its own channels and value environments. Mutating Graph,
+// Lanes or ChanDepth after the first Run is not supported.
 type Plan struct {
 	Graph *graph.Graph
 	// Lanes lists each cluster's nodes in execution order.
@@ -21,6 +29,105 @@ type Plan struct {
 	// each channel carries exactly one tensor per run, so 1 suffices to
 	// make sends non-blocking).
 	ChanDepth int
+
+	// topo is the per-plan routing structure shared by all runs. It is
+	// built once on first use; building it is also what keeps concurrent
+	// runs off the Graph's lazily-built producer/consumer indexes.
+	topoOnce sync.Once
+	topo     *planTopo
+}
+
+// chanKey identifies one cross-lane channel: a produced value and the lane
+// consuming it.
+type chanKey struct {
+	value string
+	lane  int
+}
+
+// inputSrc describes where one node input comes from at run time. Inputs
+// produced earlier in the node's own lane need no action (evalNode finds
+// them in the lane environment) and are omitted.
+type inputSrc struct {
+	name string
+	// remote: receive from the producing lane's channel. Otherwise the
+	// value is a graph input or initializer, bound from the run's base
+	// environment.
+	remote bool
+}
+
+// outputDst describes what to do with one node output beyond storing it in
+// the lane environment: the remote lanes to send it to and whether it is a
+// graph output to capture.
+type outputDst struct {
+	name        string
+	lanes       []int
+	graphOutput bool
+}
+
+// planTopo is the run-invariant routing structure of a Plan: everything
+// RunProfiled used to recompute per call that depends only on the plan
+// itself. Hoisting it makes Plan.Run cheap to call per request and safe to
+// call concurrently (the graph's lazy indexes are only touched here, under
+// the plan's once guard).
+type planTopo struct {
+	laneOf map[*graph.Node]int
+	// keys lists every cross-lane channel a run must allocate.
+	keys []chanKey
+	// ins/outs give each node its receive and send schedule. Nodes with
+	// nothing to do are absent.
+	ins  map[*graph.Node][]inputSrc
+	outs map[*graph.Node][]outputDst
+}
+
+// topology returns the plan's routing structure, building it on first use.
+func (p *Plan) topology() *planTopo {
+	p.topoOnce.Do(func() {
+		t := &planTopo{
+			laneOf: make(map[*graph.Node]int, len(p.Graph.Nodes)),
+			ins:    map[*graph.Node][]inputSrc{},
+			outs:   map[*graph.Node][]outputDst{},
+		}
+		for li, lane := range p.Lanes {
+			for _, n := range lane {
+				t.laneOf[n] = li
+			}
+		}
+		seenKey := map[chanKey]bool{}
+		for li, lane := range p.Lanes {
+			for _, n := range lane {
+				for _, in := range n.Inputs {
+					prod := p.Graph.Producer(in)
+					switch {
+					case prod == nil:
+						// Graph input or initializer: bind from base env.
+						t.ins[n] = append(t.ins[n], inputSrc{name: in})
+					case t.laneOf[prod] != li:
+						t.ins[n] = append(t.ins[n], inputSrc{name: in, remote: true})
+						key := chanKey{in, li}
+						if !seenKey[key] {
+							seenKey[key] = true
+							t.keys = append(t.keys, key)
+						}
+					}
+				}
+				for _, outName := range n.Outputs {
+					dst := outputDst{name: outName, graphOutput: p.Graph.IsGraphOutput(outName)}
+					sentTo := map[int]bool{}
+					for _, c := range p.Graph.Consumers(outName) {
+						if cl := t.laneOf[c]; cl != li && !sentTo[cl] {
+							sentTo[cl] = true
+							dst.lanes = append(dst.lanes, cl)
+						}
+					}
+					if len(dst.lanes) > 0 || dst.graphOutput {
+						t.outs[n] = append(t.outs[n], dst)
+					}
+				}
+			}
+		}
+		p.topo = t
+	})
+	return p.topo
 }
 
 // message is one cross-cluster tensor transfer.
@@ -173,6 +280,10 @@ func insertionSortByPos(ns []*graph.Node, pos map[*graph.Node]int) {
 // (value, consumer-lane) pair, mirroring the paper's Algorithm 4 runtime of
 // queue.put/queue.get message passing between Python processes. Returns
 // the graph outputs.
+//
+// Run is safe for concurrent use: many goroutines may Run the same Plan at
+// once, each call with its own channels and environments (see the Plan
+// concurrency contract).
 func (p *Plan) Run(feeds Env) (Env, error) {
 	out, _, err := p.RunProfiled(feeds)
 	return out, err
@@ -185,37 +296,19 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	laneOf := make(map[*graph.Node]int, len(p.Graph.Nodes))
-	for i, lane := range p.Lanes {
-		for _, n := range lane {
-			laneOf[n] = i
-		}
-	}
+	topo := p.topology()
 	depth := p.ChanDepth
 	if depth < 1 {
 		depth = 1
 	}
 
-	// One channel per (produced value, consuming lane) pair. The producer
-	// sends once; the consumer receives once and caches it in its local
-	// environment, so multiple local consumers are satisfied.
-	type chanKey struct {
-		value string
-		lane  int
-	}
-	chans := map[chanKey]chan message{}
-	for _, n := range p.Graph.Nodes {
-		prodLane := laneOf[n]
-		for _, outName := range n.Outputs {
-			for _, c := range p.Graph.Consumers(outName) {
-				if cl := laneOf[c]; cl != prodLane {
-					key := chanKey{outName, cl}
-					if chans[key] == nil {
-						chans[key] = make(chan message, depth)
-					}
-				}
-			}
-		}
+	// One channel per (produced value, consuming lane) pair, freshly
+	// allocated per run so concurrent runs never share messages. The
+	// producer sends once; the consumer receives once and caches it in its
+	// local environment, so multiple local consumers are satisfied.
+	chans := make(map[chanKey]chan message, len(topo.keys))
+	for _, key := range topo.keys {
+		chans[key] = make(chan message, depth)
 	}
 
 	profile := &Profile{Lanes: make([]laneStats, len(p.Lanes))}
@@ -241,22 +334,20 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 			// Lane-local environment: shared read-only base + local values.
 			env := make(Env, len(lane)*2)
 			for _, n := range lane {
-				// Receive any remote inputs not yet local.
-				for _, in := range n.Inputs {
-					if _, ok := env[in]; ok {
+				// Bind base values and receive remote inputs not yet local.
+				for _, src := range topo.ins[n] {
+					if _, ok := env[src.name]; ok {
 						continue
 					}
-					if _, ok := base[in]; ok {
-						env[in] = base[in]
-						continue
+					if !src.remote {
+						if t, ok := base[src.name]; ok {
+							env[src.name] = t
+						}
+						continue // else evalNode reports the missing input
 					}
-					prod := p.Graph.Producer(in)
-					if prod == nil || laneOf[prod] == li {
-						continue // produced locally, later error if truly missing
-					}
-					ch := chans[chanKey{in, li}]
+					ch := chans[chanKey{src.name, li}]
 					if ch == nil {
-						fail(li, fmt.Errorf("exec: lane %d: no channel for %q", li, in))
+						fail(li, fmt.Errorf("exec: lane %d: no channel for %q", li, src.name))
 						return
 					}
 					waitStart := time.Now()
@@ -276,20 +367,14 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 				}
 				stats.Busy += time.Since(busyStart)
 				// Send outputs needed by remote lanes; capture graph outputs.
-				for _, outName := range n.Outputs {
-					sentTo := map[int]bool{}
-					for _, c := range p.Graph.Consumers(outName) {
-						cl := laneOf[c]
-						if cl == li || sentTo[cl] {
-							continue
-						}
-						sentTo[cl] = true
-						chans[chanKey{outName, cl}] <- message{outName, env[outName]}
+				for _, dst := range topo.outs[n] {
+					for _, cl := range dst.lanes {
+						chans[chanKey{dst.name, cl}] <- message{dst.name, env[dst.name]}
 						stats.Sends++
 					}
-					if p.Graph.IsGraphOutput(outName) {
+					if dst.graphOutput {
 						outMu.Lock()
-						outVals[outName] = env[outName]
+						outVals[dst.name] = env[dst.name]
 						outMu.Unlock()
 					}
 				}

@@ -20,10 +20,27 @@ func sampleSuffix(name string, s int) string {
 	return fmt.Sprintf("%s#%d", name, s)
 }
 
-// SampleOf recovers the sample index of a replicated node name, or -1.
+// SampleName tags a value or node name with its batch-sample index — the
+// naming convention of ReplicateBatch. Serving layers use it to assemble
+// feeds for (and split outputs of) a batch-keyed hyperclustered program:
+// sample s of graph input "in" is fed as SampleName("in", s).
+func SampleName(name string, s int) string { return sampleSuffix(name, s) }
+
+// BaseName strips the sample suffix added by SampleName/ReplicateBatch,
+// returning the original batch-1 value name. Names without a valid suffix
+// are returned unchanged.
+func BaseName(name string) string {
+	if SampleOf(name) < 0 {
+		return name
+	}
+	return name[:strings.LastIndexByte(name, '#')]
+}
+
+// SampleOf recovers the sample index of a replicated node name, or -1
+// (a trailing '#' with no digits is not a sample suffix).
 func SampleOf(name string) int {
 	i := strings.LastIndexByte(name, '#')
-	if i < 0 {
+	if i < 0 || i == len(name)-1 {
 		return -1
 	}
 	n := 0

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	ramiel "repro"
+)
+
+// ErrBatcherClosed is returned for requests submitted after shutdown began.
+var ErrBatcherClosed = errors.New("serve: batcher closed")
+
+// batchResult is one request's share of a flushed batch.
+type batchResult struct {
+	outs      ramiel.Env
+	batchSize int
+	err       error
+}
+
+// inferJob is a queued single-sample request: feeds keyed by the model's
+// batch-1 input names, result delivered on res (buffered, never blocks the
+// flusher).
+type inferJob struct {
+	feeds ramiel.Env
+	res   chan batchResult
+}
+
+// batcher coalesces single-sample requests for one model into dynamic
+// micro-batches (Section III-E serving): a request waits at most flushAfter
+// for companions; a full window of maxBatch flushes immediately. A flush of
+// n > 1 requests runs the model's hyperclustered batch-n program — queued
+// concurrency becomes intra-request parallelism — while a flush of 1 (low
+// load) falls back to the plain batch-1 plan with no batching overhead
+// beyond the wait.
+type batcher struct {
+	model      string
+	reg        *Registry
+	pool       *Pool
+	maxBatch   int
+	flushAfter time.Duration
+	deadline   time.Duration
+	stats      *ModelStats
+
+	mu      sync.Mutex
+	pending []*inferJob
+	timer   *time.Timer
+	// gen numbers the current window; a timer callback armed for an older
+	// generation is stale (its window already flushed by size) and must
+	// not flush the new window early.
+	gen    uint64
+	closed bool
+	// inflight tracks spawned runBatch goroutines so close can wait for
+	// them while the worker pool is still accepting work.
+	inflight sync.WaitGroup
+}
+
+func newBatcher(model string, reg *Registry, pool *Pool, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
+	return &batcher{
+		model:      model,
+		reg:        reg,
+		pool:       pool,
+		maxBatch:   maxBatch,
+		flushAfter: flushAfter,
+		deadline:   deadline,
+		stats:      stats,
+	}
+}
+
+// submit queues one single-sample request and waits for its slice of the
+// batch result. ctx only abandons the wait; the underlying batch still
+// completes for its other members.
+func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int, error) {
+	job := &inferJob{feeds: feeds, res: make(chan batchResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, 0, ErrBatcherClosed
+	}
+	b.pending = append(b.pending, job)
+	b.stats.noteQueued()
+	if len(b.pending) >= b.maxBatch {
+		b.flushLocked()
+	} else if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.flushAfter, func() { b.flushTimeout(gen) })
+	}
+	b.mu.Unlock()
+
+	select {
+	case r := <-job.res:
+		return r.outs, r.batchSize, r.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// flushTimeout is the timer callback: flush the window it was armed for,
+// unless that window already flushed by size (generation moved on).
+func (b *batcher) flushTimeout(gen uint64) {
+	b.mu.Lock()
+	if b.gen == gen {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked hands the pending window to a runner goroutine. Caller holds
+// b.mu.
+func (b *batcher) flushLocked() {
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return
+	}
+	jobs := b.pending
+	b.pending = nil
+	b.stats.QueueDepth.Add(int64(-len(jobs)))
+	b.inflight.Add(1)
+	go func() {
+		defer b.inflight.Done()
+		b.runBatch(jobs)
+	}()
+}
+
+// runBatch executes one coalesced window through the worker pool and
+// scatters the outputs back to the member requests.
+func (b *batcher) runBatch(jobs []*inferJob) {
+	n := len(jobs)
+	b.stats.noteBatch(n)
+	ctx, cancel := context.WithTimeout(context.Background(), b.deadline)
+	defer cancel()
+
+	prog, err := b.reg.Program(b.model, n)
+	if err != nil {
+		b.failAll(jobs, err)
+		return
+	}
+	feeds := jobs[0].feeds
+	if n > 1 {
+		merged := make(ramiel.Env, len(feeds)*n)
+		for s, job := range jobs {
+			for name, t := range job.feeds {
+				merged[ramiel.SampleValueName(name, s)] = t
+			}
+		}
+		feeds = merged
+	}
+	outs, err := b.pool.Do(ctx, func() (ramiel.Env, error) { return prog.Run(feeds) })
+	if err != nil {
+		b.failAll(jobs, err)
+		return
+	}
+	if n == 1 {
+		jobs[0].res <- batchResult{outs: outs, batchSize: 1}
+		return
+	}
+	// Split the replicated outputs back per sample.
+	split := make([]ramiel.Env, n)
+	for i := range split {
+		split[i] = ramiel.Env{}
+	}
+	for name, t := range outs {
+		s := ramiel.SampleIndexOf(name)
+		if s < 0 || s >= n {
+			b.failAll(jobs, fmt.Errorf("serve: batch output %q has no valid sample index", name))
+			return
+		}
+		split[s][ramiel.BaseValueName(name)] = t
+	}
+	for s, job := range jobs {
+		job.res <- batchResult{outs: split[s], batchSize: n}
+	}
+}
+
+func (b *batcher) failAll(jobs []*inferJob, err error) {
+	for _, job := range jobs {
+		job.res <- batchResult{err: err}
+	}
+}
+
+// close flushes any pending window, rejects future submissions, and waits
+// for in-flight batches to finish (so they complete before the worker pool
+// shuts down; each is bounded by the request deadline).
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.closed = true
+	b.mu.Unlock()
+	b.inflight.Wait()
+}

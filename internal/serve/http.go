@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	ramiel "repro"
+)
+
+// TensorJSON is the wire form of a dense float32 tensor.
+type TensorJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+// toTensor validates and converts the wire form.
+func (tj TensorJSON) toTensor() (*ramiel.Tensor, error) {
+	shape := ramiel.NewShape(tj.Shape...)
+	if !shape.Valid() {
+		return nil, fmt.Errorf("invalid shape %v", tj.Shape)
+	}
+	if shape.Numel() != len(tj.Data) {
+		return nil, fmt.Errorf("shape %v wants %d values, got %d", tj.Shape, shape.Numel(), len(tj.Data))
+	}
+	return ramiel.NewTensor(shape, tj.Data), nil
+}
+
+func fromTensor(t *ramiel.Tensor) TensorJSON {
+	return TensorJSON{Shape: t.Shape(), Data: t.Data()}
+}
+
+// inferRequest is the body of POST /v1/infer. Either Inputs carries the
+// full feed, or Seed asks the server to generate deterministic random
+// inputs (handy for curl smoke tests).
+type inferRequest struct {
+	Model     string                `json:"model"`
+	Inputs    map[string]TensorJSON `json:"inputs,omitempty"`
+	Seed      *uint64               `json:"seed,omitempty"`
+	NoBatch   bool                  `json:"no_batch,omitempty"`
+	TimeoutMs int                   `json:"timeout_ms,omitempty"`
+}
+
+// inferResponse is the body of a successful /v1/infer.
+type inferResponse struct {
+	Model     string                `json:"model"`
+	Outputs   map[string]TensorJSON `json:"outputs"`
+	BatchSize int                   `json:"batch_size"`
+	LatencyUs int64                 `json:"latency_us"`
+}
+
+// modelInfo is one entry of GET /v1/models.
+type modelInfo struct {
+	Name           string             `json:"name"`
+	Inputs         []valueInfoJSON    `json:"inputs"`
+	Outputs        []valueInfoJSON    `json:"outputs"`
+	Nodes          int                `json:"nodes"`
+	CachedBatches  []int              `json:"cached_batches,omitempty"`
+	Stats          ModelStatsSnapshot `json:"stats"`
+	ClustersBatch1 int                `json:"clusters_batch1,omitempty"`
+}
+
+type valueInfoJSON struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape,omitempty"`
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	UptimeSeconds float64                       `json:"uptime_seconds"`
+	Registry      RegistryStatsSnapshot         `json:"registry"`
+	Pool          poolStatsJSON                 `json:"pool"`
+	Models        map[string]ModelStatsSnapshot `json:"models"`
+}
+
+type poolStatsJSON struct {
+	Workers      int   `json:"workers"`
+	QueueDepth   int64 `json:"queue_depth"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /v1/models  — registered models, signatures, cache + stats
+//	POST /v1/infer   — run one inference request
+//	GET  /v1/stats   — registry/pool/per-model counters
+//	GET  /healthz    — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	var infos []modelInfo
+	for _, name := range s.reg.Models() {
+		info := modelInfo{Name: name, Stats: s.modelStats(name).Snapshot()}
+		// Peek, don't build: signatures appear once the model is warmed or
+		// first served; a monitoring GET must not trigger graph builds.
+		if g := s.reg.PeekGraph(name); g != nil {
+			info.Nodes = len(g.Nodes)
+			for _, in := range g.Inputs {
+				info.Inputs = append(info.Inputs, valueInfoJSON{in.Name, in.Shape})
+			}
+			for _, out := range g.Outputs {
+				info.Outputs = append(info.Outputs, valueInfoJSON{out.Name, out.Shape})
+			}
+		}
+		info.CachedBatches = s.reg.CachedBatches(name)
+		// Peek, don't Program: a monitoring GET must not compile anything
+		// or skew the cache-hit counters.
+		if prog := s.reg.Peek(name, 1); prog != nil {
+			info.ClustersBatch1 = prog.NumClusters()
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"model\""))
+		return
+	}
+	feeds := ramiel.Env{}
+	switch {
+	case len(req.Inputs) > 0:
+		for name, tj := range req.Inputs {
+			t, err := tj.toTensor()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err))
+				return
+			}
+			feeds[name] = t
+		}
+		// Validate against the model signature up front so a bad request
+		// is a 400, not a lane failure deep in the executor.
+		g, err := s.reg.Graph(req.Model)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		declared := map[string]bool{}
+		for _, in := range g.Inputs {
+			declared[in.Name] = true
+			t, ok := feeds[in.Name]
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("missing input %q", in.Name))
+				return
+			}
+			if len(in.Shape) > 0 && !t.Shape().Equal(in.Shape) {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("input %q has shape %v, model declares %v", in.Name, t.Shape(), in.Shape))
+				return
+			}
+		}
+		for name := range feeds {
+			if !declared[name] {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown input %q", name))
+				return
+			}
+		}
+	case req.Seed != nil:
+		var err error
+		feeds, err = s.RandomFeeds(req.Model, *req.Seed)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("provide \"inputs\" or \"seed\""))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	outs, meta, err := s.Infer(ctx, req.Model, feeds, req.NoBatch)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := inferResponse{
+		Model:     req.Model,
+		Outputs:   make(map[string]TensorJSON, len(outs)),
+		BatchSize: meta.BatchSize,
+		LatencyUs: meta.Latency.Microseconds(),
+	}
+	for name, t := range outs {
+		resp.Outputs[name] = fromTensor(t)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	models := make(map[string]ModelStatsSnapshot, len(s.stats))
+	for name, st := range s.stats {
+		models[name] = st.Snapshot()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: s.Uptime().Seconds(),
+		Registry:      s.reg.Stats(),
+		Pool: poolStatsJSON{
+			Workers:      s.cfg.Workers,
+			QueueDepth:   s.pool.QueueDepth(),
+			InFlight:     s.pool.InFlight(),
+			PeakInFlight: s.pool.PeakInFlight(),
+		},
+		Models: models,
+	})
+}
+
+// statusFor maps serving errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the de-facto status for that (nginx).
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrShutdown), errors.Is(err, ErrBatcherClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotRegistered):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	ramiel "repro"
+)
+
+// ErrShutdown is returned by Pool.Do once the pool is closing.
+var ErrShutdown = errors.New("serve: pool shut down")
+
+// taskResult carries one execution's outcome back to the submitter.
+type taskResult struct {
+	outs ramiel.Env
+	err  error
+}
+
+// task is one unit of work: run fn and deliver the result. res is buffered
+// so an abandoned (deadline-exceeded) submitter never blocks a worker.
+type task struct {
+	ctx context.Context
+	fn  func() (ramiel.Env, error)
+	res chan taskResult
+}
+
+// Pool executes inference runs on a fixed set of worker goroutines with a
+// bounded backlog, so the number of concurrent plan executions — and the
+// number of goroutines each plan fans out — stays controlled under load.
+type Pool struct {
+	tasks chan *task
+	quit  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	// closeMu guards the closed flag and sender registration; it is never
+	// held across a blocking send, so Close's write lock is always quick.
+	// senders counts Dos between registration and enqueue-settled: once
+	// Close observes senders drained, no further task can enter the
+	// channel, so its final sweep provably catches every stranded task.
+	closeMu sync.RWMutex
+	closed  bool
+	senders sync.WaitGroup
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewPool starts a pool with the given worker count and queue backlog
+// (minimums 1 and 0 are enforced).
+func NewPool(workers, backlog int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &Pool{
+		tasks: make(chan *task, backlog),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.run(t)
+		case <-p.quit:
+			// Drain whatever was accepted before shutdown, then exit.
+			for {
+				select {
+				case t := <-p.tasks:
+					p.run(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *Pool) run(t *task) {
+	p.queued.Add(-1)
+	// Skip work whose submitter already gave up.
+	if t.ctx != nil {
+		select {
+		case <-t.ctx.Done():
+			t.res <- taskResult{err: t.ctx.Err()}
+			return
+		default:
+		}
+	}
+	n := p.inflight.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	outs, err := t.fn()
+	p.inflight.Add(-1)
+	t.res <- taskResult{outs: outs, err: err}
+}
+
+// Do runs fn on a pool worker and returns its result. It blocks while the
+// backlog is full (backpressure), honors ctx for both queueing and waiting,
+// and fails fast with ErrShutdown once Close has begun. When ctx expires
+// while fn is already running, Do returns the ctx error immediately and the
+// worker finishes the run in the background (plan executions are not
+// cancellable mid-flight).
+func (p *Pool) Do(ctx context.Context, fn func() (ramiel.Env, error)) (ramiel.Env, error) {
+	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return nil, ErrShutdown
+	}
+	p.senders.Add(1)
+	p.closeMu.RUnlock()
+	p.queued.Add(1)
+	select {
+	case p.tasks <- t:
+		p.senders.Done()
+	case <-p.quit:
+		p.senders.Done()
+		p.queued.Add(-1)
+		return nil, ErrShutdown
+	case <-ctx.Done():
+		p.senders.Done()
+		p.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-t.res:
+		return r.outs, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth reports tasks accepted but not yet started.
+func (p *Pool) QueueDepth() int64 { return p.queued.Load() }
+
+// InFlight reports tasks currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// PeakInFlight reports the highest concurrent execution count observed.
+func (p *Pool) PeakInFlight() int64 { return p.peak.Load() }
+
+// Close stops accepting work, lets workers drain the accepted backlog, and
+// waits for them to exit or for ctx to expire. Senders that raced the
+// shutdown and enqueued behind the workers' final drain are swept and
+// failed with ErrShutdown rather than left hanging.
+func (p *Pool) Close(ctx context.Context) error {
+	p.once.Do(func() {
+		p.closeMu.Lock()
+		p.closed = true
+		p.closeMu.Unlock()
+		close(p.quit)
+	})
+	done := make(chan struct{})
+	go func() {
+		p.senders.Wait() // no further enqueues after this
+		p.wg.Wait()      // workers finished their drains
+		for {
+			select {
+			case t := <-p.tasks: // stranded behind an exited worker
+				p.queued.Add(-1)
+				t.res <- taskResult{err: ErrShutdown}
+			default:
+				close(done)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	ramiel "repro"
+)
+
+// Config tunes the serving runtime. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent plan executions (default
+	// GOMAXPROCS). Each running plan itself fans out one goroutine per
+	// cluster, so this bounds total execution parallelism.
+	Workers int
+	// Backlog is the worker-pool queue depth (default 4×Workers).
+	Backlog int
+	// MaxBatch caps dynamic micro-batching; 1 disables coalescing.
+	MaxBatch int
+	// FlushTimeout is how long a lone request waits for batch companions
+	// (default 2ms — small against model latency, large against arrival
+	// gaps under load).
+	FlushTimeout time.Duration
+	// Switched selects switched hyperclustering for batch plans (Fig. 9).
+	Switched bool
+	// Deadline is the default per-request deadline (default 30s).
+	Deadline time.Duration
+	// Compile sets the Ramiel pipeline options used for every model.
+	Compile ramiel.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Backlog < 1 {
+		c.Backlog = 4 * c.Workers
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = 2 * time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	return c
+}
+
+// InferMeta reports how a request was served.
+type InferMeta struct {
+	// BatchSize is the coalesced batch the request rode in (1 = solo).
+	BatchSize int
+	// Latency is the end-to-end service time.
+	Latency time.Duration
+}
+
+// Server is the serving runtime: registry + pool + per-model batchers.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	pool *Pool
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+	stats    map[string]*ModelStats
+	closed   bool
+
+	start time.Time
+}
+
+// New creates a serving runtime and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Compile, cfg.Switched),
+		pool:     NewPool(cfg.Workers, cfg.Backlog),
+		batchers: map[string]*batcher{},
+		stats:    map[string]*ModelStats{},
+		start:    time.Now(),
+	}
+}
+
+// Registry exposes the server's model registry for registration and
+// inspection.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// RegisterZoo registers built-in zoo models (all of them when names is
+// empty).
+func (s *Server) RegisterZoo(cfg ramiel.ModelConfig, names ...string) error {
+	return s.reg.RegisterZoo(cfg, names...)
+}
+
+// RegisterGraph registers an already-built model graph.
+func (s *Server) RegisterGraph(name string, g *ramiel.Graph) {
+	s.reg.RegisterGraph(name, g)
+}
+
+// Warm precompiles the batch-1 program for each named model (all
+// registered models when names is empty), so first requests don't pay the
+// compile.
+func (s *Server) Warm(names ...string) error {
+	if len(names) == 0 {
+		names = s.reg.Models()
+	}
+	for _, name := range names {
+		if _, err := s.reg.Program(name, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsLocked returns (creating on demand) the stats block for a model.
+// Caller holds s.mu.
+func (s *Server) statsLocked(model string) *ModelStats {
+	st, ok := s.stats[model]
+	if !ok {
+		st = &ModelStats{}
+		s.stats[model] = st
+	}
+	return st
+}
+
+// modelStats is statsLocked with its own locking.
+func (s *Server) modelStats(model string) *ModelStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked(model)
+}
+
+// batcher returns (creating on demand) the micro-batcher for a model, or
+// nil when the server is closed.
+func (s *Server) batcher(model string) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	b, ok := s.batchers[model]
+	if !ok {
+		b = newBatcher(model, s.reg, s.pool, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
+			s.statsLocked(model))
+		s.batchers[model] = b
+	}
+	return b
+}
+
+// Infer serves one single-sample request: feeds keyed by the model's
+// declared input names. When batching is enabled (MaxBatch > 1) and
+// noBatch is false, the request may be coalesced with concurrent ones into
+// a hyperclustered batch run. ctx bounds the wait; with no deadline set,
+// the server default applies.
+func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, InferMeta, error) {
+	start := time.Now()
+	// Reject unknown models before touching per-model state: junk traffic
+	// must not grow the stats map.
+	if !s.reg.Registered(model) {
+		return nil, InferMeta{}, fmt.Errorf("serve: model %q: %w", model, ErrNotRegistered)
+	}
+	st := s.modelStats(model)
+	st.Requests.Add(1)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+
+	outs, batchSize, err := s.dispatch(ctx, model, feeds, noBatch)
+	meta := InferMeta{BatchSize: batchSize, Latency: time.Since(start)}
+	st.LatencyMicros.Add(meta.Latency.Microseconds())
+	if err != nil {
+		// A canceled client is not a model failure; keep Errors meaningful
+		// for monitoring.
+		if !errors.Is(err, context.Canceled) {
+			st.Errors.Add(1)
+		}
+		return nil, meta, err
+	}
+	return outs, meta, nil
+}
+
+func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, error) {
+	if s.cfg.MaxBatch > 1 && !noBatch {
+		b := s.batcher(model)
+		if b == nil {
+			return nil, 0, ErrShutdown
+		}
+		return b.submit(ctx, feeds)
+	}
+	prog, err := s.reg.Program(model, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	outs, err := s.pool.Do(ctx, func() (ramiel.Env, error) { return prog.Run(feeds) })
+	if err != nil {
+		return nil, 0, err
+	}
+	return outs, 1, nil
+}
+
+// RandomFeeds builds a deterministic valid request for the model — the
+// server-side analogue of ramiel.RandomInputs, used by the HTTP layer's
+// seed mode and by benchmarks.
+func (s *Server) RandomFeeds(model string, seed uint64) (ramiel.Env, error) {
+	g, err := s.reg.Graph(model)
+	if err != nil {
+		return nil, err
+	}
+	return ramiel.RandomInputs(g, seed), nil
+}
+
+// Uptime reports how long the server has been running.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// Close shuts the runtime down gracefully: new requests are rejected,
+// pending micro-batches flush, and the pool drains within ctx.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	batchers := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.mu.Unlock()
+	// Batcher close waits for in-flight batches (bounded per batch by the
+	// request deadline, but possibly long); honor ctx rather than blocking
+	// Server.Close past its budget.
+	flushed := make(chan struct{})
+	go func() {
+		for _, b := range batchers {
+			b.close()
+		}
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-ctx.Done():
+	}
+	if err := s.pool.Close(ctx); err != nil {
+		return fmt.Errorf("serve: draining pool: %w", err)
+	}
+	return nil
+}

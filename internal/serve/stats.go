@@ -1,0 +1,83 @@
+package serve
+
+import "sync/atomic"
+
+// ModelStats counts per-model serving activity. All fields are atomics so
+// the hot path never takes a lock; Snapshot gives a consistent-enough view
+// for reporting.
+type ModelStats struct {
+	// Requests is every Infer call routed to the model.
+	Requests atomic.Int64
+	// Errors counts failed requests (compile, execution or deadline).
+	Errors atomic.Int64
+	// Batched counts requests that were served inside a coalesced
+	// micro-batch of size > 1 (i.e. through a hyperclustered plan).
+	Batched atomic.Int64
+	// Flushes counts micro-batch flushes; FlushedSamples their total size,
+	// so FlushedSamples/Flushes is the mean realized batch size.
+	Flushes        atomic.Int64
+	FlushedSamples atomic.Int64
+	// MaxBatchSeen is the largest coalesced batch executed.
+	MaxBatchSeen atomic.Int64
+	// QueueDepth is the current number of requests waiting in the
+	// micro-batcher; PeakQueueDepth its high-water mark.
+	QueueDepth     atomic.Int64
+	PeakQueueDepth atomic.Int64
+	// LatencyMicros accumulates end-to-end request latency, so
+	// LatencyMicros/Requests is the mean service latency.
+	LatencyMicros atomic.Int64
+}
+
+// noteQueued bumps the batcher queue gauge and its high-water mark.
+func (m *ModelStats) noteQueued() {
+	d := m.QueueDepth.Add(1)
+	for {
+		old := m.PeakQueueDepth.Load()
+		if d <= old || m.PeakQueueDepth.CompareAndSwap(old, d) {
+			return
+		}
+	}
+}
+
+// noteBatch records one executed micro-batch of size n.
+func (m *ModelStats) noteBatch(n int) {
+	m.Flushes.Add(1)
+	m.FlushedSamples.Add(int64(n))
+	if n > 1 {
+		m.Batched.Add(int64(n))
+	}
+	for {
+		old := m.MaxBatchSeen.Load()
+		if int64(n) <= old || m.MaxBatchSeen.CompareAndSwap(old, int64(n)) {
+			return
+		}
+	}
+}
+
+// ModelStatsSnapshot is the JSON view of ModelStats.
+type ModelStatsSnapshot struct {
+	Requests       int64 `json:"requests"`
+	Errors         int64 `json:"errors"`
+	Batched        int64 `json:"batched"`
+	Flushes        int64 `json:"flushes"`
+	FlushedSamples int64 `json:"flushed_samples"`
+	MaxBatchSeen   int64 `json:"max_batch_seen"`
+	QueueDepth     int64 `json:"queue_depth"`
+	PeakQueueDepth int64 `json:"peak_queue_depth"`
+	LatencyMicros  int64 `json:"latency_micros"`
+}
+
+// Snapshot reads the counters.
+func (m *ModelStats) Snapshot() ModelStatsSnapshot {
+	return ModelStatsSnapshot{
+		Requests:       m.Requests.Load(),
+		Errors:         m.Errors.Load(),
+		Batched:        m.Batched.Load(),
+		Flushes:        m.Flushes.Load(),
+		FlushedSamples: m.FlushedSamples.Load(),
+		MaxBatchSeen:   m.MaxBatchSeen.Load(),
+		QueueDepth:     m.QueueDepth.Load(),
+		PeakQueueDepth: m.PeakQueueDepth.Load(),
+		LatencyMicros:  m.LatencyMicros.Load(),
+	}
+}

@@ -32,6 +32,8 @@ type (
 	Graph = graph.Graph
 	// Node is one operator in a Graph.
 	Node = graph.Node
+	// ValueInfo names a graph-level input or output and its shape.
+	ValueInfo = graph.ValueInfo
 	// ModelConfig controls zoo-model construction.
 	ModelConfig = models.Config
 	// CostModel assigns static weights to operators.
@@ -247,6 +249,31 @@ func (p *Program) Hypercluster(batch int, switched bool) (*Program, error) {
 		CompileTime: p.CompileTime,
 	}, nil
 }
+
+// Inputs returns the program graph's declared inputs. For a hyperclustered
+// program these are the per-sample replicas (SampleValueName of the batch-1
+// inputs).
+func (p *Program) Inputs() []ValueInfo { return p.Graph.Inputs }
+
+// Outputs returns the program graph's declared outputs.
+func (p *Program) Outputs() []ValueInfo { return p.Graph.Outputs }
+
+// SampleValueName tags a value name with a batch-sample index, following
+// the hyperclustering replication convention (Section III-E): sample s of
+// graph input "in" is fed to a hyperclustered program as
+// SampleValueName("in", s). Serving layers use this to assemble coalesced
+// micro-batch feeds and split the outputs back per request.
+func SampleValueName(name string, sample int) string {
+	return hyper.SampleName(name, sample)
+}
+
+// SampleIndexOf recovers the sample index of a replicated value name, or
+// -1 when the name carries no sample suffix.
+func SampleIndexOf(name string) int { return hyper.SampleOf(name) }
+
+// BaseValueName strips the sample suffix from a replicated value name,
+// returning the batch-1 name; names without a suffix pass through.
+func BaseValueName(name string) string { return hyper.BaseName(name) }
 
 // Call invokes a registered operator kernel by its ONNX-style name; the
 // generated parallel code is written in terms of Call.

@@ -1,7 +1,6 @@
 package ramiel
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/exec"
@@ -16,22 +15,31 @@ import (
 // until the producing cluster has sent.
 type Queues struct {
 	mu        sync.Mutex
-	chans     map[string]chan *Tensor
+	chans     map[queueKey]chan *Tensor
 	published Env
 	lanes     int
+}
+
+// queueKey identifies one (value, destination-lane) channel. A comparable
+// struct key keeps the per-message lookup allocation-free, unlike the
+// fmt.Sprintf string key it replaced, which showed up in profiles of
+// generated-code runs.
+type queueKey struct {
+	value string
+	lane  int
 }
 
 // NewQueues creates the runtime for a program with the given lane count.
 func NewQueues(lanes int) *Queues {
 	return &Queues{
-		chans:     map[string]chan *Tensor{},
+		chans:     map[queueKey]chan *Tensor{},
 		published: Env{},
 		lanes:     lanes,
 	}
 }
 
 func (q *Queues) channel(value string, lane int) chan *Tensor {
-	key := fmt.Sprintf("%s→%d", value, lane)
+	key := queueKey{value, lane}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	ch, ok := q.chans[key]
