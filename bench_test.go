@@ -208,6 +208,49 @@ func BenchmarkServeThroughputNoBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkServeArena measures steady-state batch-1 serving with the
+// per-worker tensor arena on vs off. Run with -benchmem: the arena run
+// must show materially fewer allocs/op and B/op — the per-request
+// intermediate tensors move from GC garbage to free-list reuse.
+func BenchmarkServeArena(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		noArena bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := serve.New(serve.Config{Workers: 2, MaxBatch: 1, NoArena: bc.noArena})
+			defer s.Close(context.Background())
+			if err := s.RegisterZoo(ramiel.ModelConfig{ImageSize: 16}, "squeezenet"); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Warm(); err != nil {
+				b.Fatal(err)
+			}
+			feeds, err := s.RandomFeeds("squeezenet", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Reach steady state before measuring.
+			for i := 0; i < 5; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st, ok := s.ArenaStats(); ok && st.Gets > 0 {
+				b.ReportMetric(100*float64(st.Hits)/float64(st.Gets), "arena-hit-%")
+			}
+		})
+	}
+}
+
 func BenchmarkServeCompilePerRequest(b *testing.B) {
 	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
 	feeds := ramiel.RandomInputs(g, 1)

@@ -44,6 +44,7 @@ func main() {
 	intra := flag.Int("intra", 1, "intra-op threads for real execution")
 
 	run := flag.Bool("run", false, "execute parallel + sequential and verify")
+	arena := flag.Bool("arena", true, "use arena-backed tensor memory for -run")
 	report := flag.Bool("report", false, "print metrics, clusters and simulation")
 	codegen := flag.String("codegen", "", "write generated parallel Go code to this file")
 	save := flag.String("save", "", "save the optimized model to this file")
@@ -90,7 +91,7 @@ func main() {
 	}
 	if *run {
 		did = true
-		if err := runAndVerify(prog, *seed); err != nil {
+		if err := runAndVerify(prog, *seed, *arena); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -169,6 +170,19 @@ func printReport(prog *ramiel.Program) {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Static memory plan: liveness-driven buffer reuse and peak forecast
+	// (sizes were recorded during the measurement run above, since shapes
+	// are not statically inferable in this IR).
+	if mp := prog.MemoryPlan(); mp != nil {
+		ms := mp.Summary()
+		fmt.Printf("  memory plan: %d managed values -> %d reuse slots (%d pinned outputs, %d dead)\n",
+			ms.Managed, ms.Slots, ms.Pinned, ms.ZeroUse)
+		est := mp.Estimate(mm.ValueNumel)
+		fmt.Printf("  memory estimate: peak live %s, slot arena %s, unreused total %s\n",
+			fmtBytes(est.PeakLiveBytes), fmtBytes(est.SlotBytes), fmtBytes(est.TotalBytes))
+	}
+
 	mm.PaperEquivalentQueues()
 	res, err := exec.Simulate(prog.Plan, mm)
 	if err != nil {
@@ -178,8 +192,22 @@ func printReport(prog *ramiel.Program) {
 		res.TotalWork/1000, res.Makespan/1000, res.Speedup())
 }
 
-func runAndVerify(prog *ramiel.Program, seed uint64) error {
+func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
 	feeds := ramiel.RandomInputs(prog.Graph, seed)
+	// Warm both paths untimed so the printed speedup compares steady
+	// states: sequential vs parallel, not cold-start vs warm-arena.
+	if _, err := prog.RunSequential(feeds); err != nil {
+		return err
+	}
+	var ar *ramiel.Arena
+	if useArena {
+		ar = ramiel.NewArena()
+		if _, err := prog.RunArena(feeds, ar); err != nil {
+			return err
+		}
+	} else if _, err := prog.Run(feeds); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	want, err := prog.RunSequential(feeds)
 	if err != nil {
@@ -187,7 +215,15 @@ func runAndVerify(prog *ramiel.Program, seed uint64) error {
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
-	got, prof, err := prog.RunProfiled(feeds)
+	var (
+		got  ramiel.Env
+		prof *ramiel.Profile
+	)
+	if ar != nil {
+		got, prof, err = prog.RunProfiledArena(feeds, ar)
+	} else {
+		got, prof, err = prog.RunProfiled(feeds)
+	}
 	if err != nil {
 		return err
 	}
@@ -201,5 +237,26 @@ func runAndVerify(prog *ramiel.Program, seed uint64) error {
 		seq.Round(time.Microsecond), par.Round(time.Microsecond), float64(seq)/float64(par))
 	fmt.Printf("  profile: total slack %v across %d lanes\n",
 		prof.TotalSlack().Round(time.Microsecond), len(prof.Lanes))
+	if ar != nil {
+		st := ar.Stats().Snapshot()
+		hitRate := 0.0
+		if st.Gets > 0 {
+			hitRate = 100 * float64(st.Hits) / float64(st.Gets)
+		}
+		fmt.Printf("  arena: %d gets (%.0f%% hits), %d puts, peak %s, fresh heap %s\n",
+			st.Gets, hitRate, st.Puts, fmtBytes(st.PeakBytes), fmtBytes(st.AllocBytes))
+	}
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
 }

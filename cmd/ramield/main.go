@@ -45,6 +45,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4, "micro-batch cap (1 disables coalescing)")
 	flush := flag.Duration("flush", 2*time.Millisecond, "micro-batch flush timeout")
 	switched := flag.Bool("switched", false, "use switched hyperclustering for batch plans")
+	arena := flag.Bool("arena", true, "arena-backed execution: recycle intermediate tensors across requests")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	prune := flag.Bool("prune", false, "compile with constant propagation + DCE")
 	clone := flag.Bool("clone", false, "compile with limited task cloning")
@@ -57,6 +58,7 @@ func main() {
 		FlushTimeout: *flush,
 		Switched:     *switched,
 		Deadline:     *deadline,
+		NoArena:      !*arena,
 		Compile:      ramiel.Options{Prune: *prune, Clone: *clone},
 	})
 
@@ -90,8 +92,8 @@ func main() {
 		log.Printf("warmed %d models in %v", len(srv.Registry().Models()),
 			time.Since(warmStart).Round(time.Millisecond))
 	}
-	log.Printf("serving %v on %s (max-batch %d, flush %v)",
-		srv.Registry().Models(), *addr, *maxBatch, *flush)
+	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v)",
+		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -33,6 +33,10 @@ type MeasuredModel struct {
 	// OutBytes maps node names to the byte size of their first output,
 	// recorded during measurement.
 	OutBytes map[string]float64
+	// ValueNumel maps every produced value name to its element count,
+	// recorded during measurement — the sizes input the memory planner's
+	// Estimate wants, at no extra execution.
+	ValueNumel map[string]int
 	// Default covers nodes not measured (e.g. clones added after
 	// measurement): microseconds.
 	Default float64
@@ -87,7 +91,7 @@ func MeasureCosts(g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*Mea
 		return nil, err
 	}
 	acc := make(map[string]float64, len(order))
-	outBytes := make(map[string]float64, len(order))
+	numel := make(map[string]int, len(order))
 	for r := 0; r < reps; r++ {
 		env, err := seedEnv(g, feeds)
 		if err != nil {
@@ -95,14 +99,26 @@ func MeasureCosts(g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*Mea
 		}
 		for _, n := range order {
 			t0 := time.Now()
-			if err := evalNode(g, n, env); err != nil {
+			if err := evalNode(g, n, env, nil); err != nil {
 				return nil, fmt.Errorf("exec: measuring %s: %w", n.Name, err)
 			}
 			acc[n.Name] += float64(time.Since(t0)) / float64(time.Microsecond)
-			if r == 0 && len(n.Outputs) > 0 {
-				if t := env[n.Outputs[0]]; t != nil {
-					outBytes[n.Name] = float64(t.Numel() * 4)
+			if r == 0 {
+				for _, out := range n.Outputs {
+					if t := env[out]; t != nil {
+						numel[out] = t.Numel()
+					}
 				}
+			}
+		}
+	}
+	// OutBytes is a per-node view of the same measurements: the first
+	// output's size, derived from numel so the two maps cannot diverge.
+	outBytes := make(map[string]float64, len(order))
+	for _, n := range order {
+		if len(n.Outputs) > 0 {
+			if e, ok := numel[n.Outputs[0]]; ok {
+				outBytes[n.Name] = float64(4 * e)
 			}
 		}
 	}
@@ -123,7 +139,7 @@ func MeasureCosts(g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*Mea
 	if len(byName) > 0 {
 		def = sum / float64(len(byName))
 	}
-	return &MeasuredModel{ByName: byName, Edge: edgeMicros, OutBytes: outBytes, Default: def}, nil
+	return &MeasuredModel{ByName: byName, Edge: edgeMicros, OutBytes: outBytes, ValueNumel: numel, Default: def}, nil
 }
 
 // PaperEquivalentQueues configures m to model the paper's Python

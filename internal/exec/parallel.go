@@ -3,9 +3,11 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/memplan"
 	"repro/internal/tensor"
 )
 
@@ -35,6 +37,11 @@ type Plan struct {
 	// runs off the Graph's lazily-built producer/consumer indexes.
 	topoOnce sync.Once
 	topo     *planTopo
+
+	// mem is the static memory plan plus per-node release schedule, built
+	// once like topo and consulted only by arena-backed runs.
+	memOnce sync.Once
+	mem     *memState
 }
 
 // chanKey identifies one cross-lane channel: a produced value and the lane
@@ -128,6 +135,75 @@ func (p *Plan) topology() *planTopo {
 		p.topo = t
 	})
 	return p.topo
+}
+
+// memDrop is one reference-count decrement owed when a node completes: the
+// managed value's dense index in the run's refs array, and its name (to
+// find the tensor in the completing lane's environment).
+type memDrop struct {
+	idx   int
+	value string
+}
+
+// memState is the run-invariant arena-release schedule derived from the
+// static memory plan (internal/memplan): per node, which managed values
+// lose a reference when that node finishes. Like planTopo it is computed
+// once per plan and only read afterwards; each run owns a mutable copy of
+// refs0.
+type memState struct {
+	plan *memplan.Plan
+	// refs0 seeds each run's reference counts. Zero-use values are seeded
+	// with 1 and dropped by their own producer, so every managed value is
+	// released by exactly one code path.
+	refs0 []int32
+	// drops lists the decrements owed at each node's completion: one per
+	// managed input occurrence, plus one per zero-use output.
+	drops map[*graph.Node][]memDrop
+}
+
+// memory returns the plan's release schedule, building it on first use.
+// A nil result (analysis failure) disables releasing; arena runs then
+// still allocate from the arena but never recycle — safe, just slower.
+// NewPlan-validated plans always analyze cleanly.
+func (p *Plan) memory() *memState {
+	p.memOnce.Do(func() {
+		mp, err := memplan.Build(p.Graph, p.Lanes)
+		if err != nil {
+			return
+		}
+		m := &memState{
+			plan:  mp,
+			refs0: mp.InitialRefs(),
+			drops: make(map[*graph.Node][]memDrop, len(p.Graph.Nodes)),
+		}
+		for _, lane := range p.Lanes {
+			for _, n := range lane {
+				for _, in := range n.Inputs {
+					if i := mp.IndexOf(in); i >= 0 {
+						m.drops[n] = append(m.drops[n], memDrop{i, in})
+					}
+				}
+				for _, out := range n.Outputs {
+					if i := mp.IndexOf(out); i >= 0 && mp.UseCount(out) == 0 {
+						m.refs0[i] = 1
+						m.drops[n] = append(m.drops[n], memDrop{i, out})
+					}
+				}
+			}
+		}
+		p.mem = m
+	})
+	return p.mem
+}
+
+// MemoryPlan returns the plan's static memory plan (liveness, reuse slots,
+// peak estimates), building it on first use. Nil when the graph defies
+// analysis, which cannot happen for plans built by NewPlan/NewPlanOrdered.
+func (p *Plan) MemoryPlan() *memplan.Plan {
+	if m := p.memory(); m != nil {
+		return m.plan
+	}
+	return nil
 }
 
 // message is one cross-cluster tensor transfer.
@@ -285,12 +361,38 @@ func insertionSortByPos(ns []*graph.Node, pos map[*graph.Node]int) {
 // once, each call with its own channels and environments (see the Plan
 // concurrency contract).
 func (p *Plan) Run(feeds Env) (Env, error) {
-	out, _, err := p.RunProfiled(feeds)
+	out, _, err := p.runProfiled(feeds, nil)
+	return out, err
+}
+
+// RunArena is Run with arena-backed tensor memory: every kernel output is
+// allocated from ar, and each intermediate's storage is returned to ar the
+// moment its statically-known last consumer finishes (the reuse plan of
+// internal/memplan). Graph outputs are never recycled — they escape to the
+// caller as ordinary heap-owned tensors.
+//
+// The arena must not be shared between concurrent runs: the serving
+// invariant extends to "each run owns its arena" — many goroutines may
+// RunArena the same Plan at once as long as every call passes a different
+// (or pooled, currently-idle) arena. Keeping one arena alive across
+// sequential runs is exactly what makes steady-state inference allocation-
+// free for intermediates.
+func (p *Plan) RunArena(feeds Env, ar *tensor.Arena) (Env, error) {
+	out, _, err := p.runProfiled(feeds, ar)
 	return out, err
 }
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
+	return p.runProfiled(feeds, nil)
+}
+
+// RunProfiledArena is RunArena plus the per-lane busy/slack profile.
+func (p *Plan) RunProfiledArena(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
+	return p.runProfiled(feeds, ar)
+}
+
+func (p *Plan) runProfiled(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
 	start := time.Now()
 	base, err := seedEnv(p.Graph, feeds)
 	if err != nil {
@@ -300,6 +402,22 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 	depth := p.ChanDepth
 	if depth < 1 {
 		depth = 1
+	}
+
+	// Arena mode: a private copy of the memory plan's reference counts.
+	// Lane goroutines decrement the counts of a node's managed inputs once
+	// the node completes; whoever performs a value's final decrement owns
+	// the release. alloc is the allocator handed to every kernel.
+	var (
+		mem   *memState
+		refs  []int32
+		alloc tensor.Allocator
+	)
+	if ar != nil {
+		alloc = ar
+		if mem = p.memory(); mem != nil {
+			refs = append([]int32(nil), mem.refs0...)
+		}
 	}
 
 	// One channel per (produced value, consuming lane) pair, freshly
@@ -361,7 +479,7 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 					}
 				}
 				busyStart := time.Now()
-				if err := evalNode(p.Graph, n, env); err != nil {
+				if err := evalNode(p.Graph, n, env, alloc); err != nil {
 					fail(li, err)
 					return
 				}
@@ -378,6 +496,18 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 						outMu.Unlock()
 					}
 				}
+				// Release the node's dead inputs (and dead-on-arrival
+				// outputs) back to the run's arena. This runs after the
+				// sends: a node's own outputs still carry their consumers'
+				// references, so only values whose global count reaches
+				// zero here — no reader left in any lane — are recycled.
+				if refs != nil {
+					for _, d := range mem.drops[n] {
+						if atomic.AddInt32(&refs[d.idx], -1) == 0 {
+							tensor.ReleaseData(ar, env[d.value])
+						}
+					}
+				}
 			}
 		}(li, lane)
 	}
@@ -391,6 +521,12 @@ func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
 	final := make(Env, len(p.Graph.Outputs))
 	for k, v := range outVals {
 		final[k] = v
+		// Node-produced graph outputs escape to the caller: drop them from
+		// the arena's working-set accounting so long-lived arenas report
+		// the real steady-state footprint, not a per-request ratchet.
+		if ar != nil {
+			ar.NoteEscape(v.Data())
+		}
 	}
 	for _, o := range p.Graph.Outputs {
 		if _, ok := final[o.Name]; !ok {

@@ -23,6 +23,16 @@ type Env map[string]*tensor.Tensor
 // reference for the parallel executor and the baseline for every speedup
 // the paper reports.
 func RunSequential(g *graph.Graph, feeds Env) (Env, error) {
+	env, err := runAllSequential(g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	return collectOutputs(g, env)
+}
+
+// runAllSequential executes every node in topological order and returns
+// the full value environment.
+func runAllSequential(g *graph.Graph, feeds Env) (Env, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -32,11 +42,31 @@ func RunSequential(g *graph.Graph, feeds Env) (Env, error) {
 		return nil, err
 	}
 	for _, n := range order {
-		if err := evalNode(g, n, env); err != nil {
+		if err := evalNode(g, n, env, nil); err != nil {
 			return nil, err
 		}
 	}
-	return collectOutputs(g, env)
+	return env, nil
+}
+
+// ValueSizes executes g sequentially with feeds and records the element
+// count of every node-produced value. Shapes are not statically inferable
+// in this IR, so one reference execution is how the memory planner's peak
+// estimates (memplan.Plan.Estimate) get their sizes.
+func ValueSizes(g *graph.Graph, feeds Env) (map[string]int, error) {
+	env, err := runAllSequential(g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make(map[string]int)
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			if t, ok := env[out]; ok {
+				sizes[out] = t.Numel()
+			}
+		}
+	}
+	return sizes, nil
 }
 
 // seedEnv builds the initial value environment from initializers + feeds.
@@ -58,9 +88,11 @@ func seedEnv(g *graph.Graph, feeds Env) (Env, error) {
 	return env, nil
 }
 
-// evalNode runs one node's kernel against env, storing its outputs.
-func evalNode(g *graph.Graph, n *graph.Node, env Env) error {
-	kernel, err := ops.Lookup(n.OpType)
+// evalNode runs one node's kernel against env, storing its outputs. The
+// allocator (nil = heap) reaches every kernel output allocation, so an
+// arena-backed run recycles intermediate storage.
+func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator) error {
+	kernel, err := ops.LookupAlloc(n.OpType)
 	if err != nil {
 		return fmt.Errorf("exec: node %s: %w", n.Name, err)
 	}
@@ -72,7 +104,7 @@ func evalNode(g *graph.Graph, n *graph.Node, env Env) error {
 		}
 		inputs[i] = t
 	}
-	outs, err := kernel(inputs, n.Attrs)
+	outs, err := kernel(inputs, n.Attrs, a)
 	if err != nil {
 		return fmt.Errorf("exec: node %s: %w", n.Name, err)
 	}
@@ -80,14 +112,18 @@ func evalNode(g *graph.Graph, n *graph.Node, env Env) error {
 	// of attribute-free unary ops recorded on the node.
 	if chain := n.Attrs.Str("fused_epilogue", ""); chain != "" && len(outs) > 0 {
 		for _, epOp := range strings.Split(chain, "+") {
-			epKernel, err := ops.Lookup(epOp)
+			epKernel, err := ops.LookupAlloc(epOp)
 			if err != nil {
 				return fmt.Errorf("exec: node %s epilogue: %w", n.Name, err)
 			}
-			epOuts, err := epKernel(outs[:1], nil)
+			epOuts, err := epKernel(outs[:1], nil, a)
 			if err != nil {
 				return fmt.Errorf("exec: node %s epilogue %s: %w", n.Name, epOp, err)
 			}
+			// The pre-epilogue tensor is transient — bound to no value name —
+			// so its storage goes straight back to the arena (epilogue ops
+			// never alias their input).
+			tensor.ReleaseData(a, outs[0])
 			outs[0] = epOuts[0]
 		}
 	}

@@ -1,0 +1,309 @@
+// Package memplan computes static memory-reuse plans for compiled parallel
+// programs: given a plan's dataflow graph and cluster lanes, it derives the
+// liveness of every intermediate tensor value (definition point, last
+// consumer across all lanes), seeds the reference counts the executor uses
+// to return dead intermediates to a run's arena, assigns values to reusable
+// buffer slots, and estimates the program's peak tensor memory.
+//
+// The plan is the serving-runtime analogue of a TFLite-style arena planner,
+// adapted to Ramiel's compile-once/serve-many contract (see internal/exec's
+// Plan): it is computed once per compiled program and only read afterwards,
+// so any number of concurrent runs can share it, each with its own arena
+// and its own mutable copy of the reference counts.
+//
+// Soundness rests on two properties of the kernel layer (internal/ops):
+// kernels never mutate their inputs, and every kernel output is freshly
+// allocated storage — even shape-only ops like Reshape copy. Each managed
+// value therefore owns its buffer exclusively, and the buffer is dead the
+// moment the value's statically-known last use completes.
+package memplan
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Unmanaged marks values the executor must never release: graph inputs,
+// initializers, and graph outputs (which escape to the caller).
+const Unmanaged = -1
+
+// Interval is a value's live range in schedule positions (indexes into the
+// global topological order used to build the plan): Def is the producing
+// node's position, LastUse the position of the final consuming node. A
+// value with no consumers has LastUse == Def (dead on arrival).
+//
+// In a parallel execution lanes overlap, so positions order events only
+// per dependency chain; the executor's reference counts — not these
+// positions — decide the actual release moment. The intervals drive the
+// static slot assignment and the peak estimate.
+type Interval struct {
+	Def     int
+	LastUse int
+}
+
+// Plan is the immutable static memory plan of one compiled program.
+type Plan struct {
+	// index maps each managed value name to its dense slot in Uses/Refs
+	// order. Values absent here are unmanaged.
+	index map[string]int
+	// names is the inverse of index.
+	names []string
+	// uses[i] is the static use count of managed value i: the number of
+	// node-input occurrences consuming it across all lanes. It seeds the
+	// per-run reference counts.
+	uses []int32
+	// live[i] is the value's liveness interval.
+	live []Interval
+	// lastConsumer[i] names the last consuming node (empty for zero-use
+	// values).
+	lastConsumer []string
+	// slot[i] is the reuse slot the value maps to: values with disjoint
+	// intervals share a slot.
+	slot []int
+	// slots is the number of distinct reuse slots.
+	slots int
+	// pinned counts produced values excluded from management because they
+	// are graph outputs.
+	pinned int
+}
+
+// Build computes the memory plan for a graph partitioned into lanes. The
+// lanes must cover the graph (as exec.NewPlan guarantees); they are used
+// only to validate coverage — liveness is a property of the dataflow graph
+// itself and holds for any dependency-respecting interleaving.
+func Build(g *graph.Graph, lanes [][]*graph.Node) (*Plan, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("memplan: %w", err)
+	}
+	if lanes != nil {
+		covered := 0
+		for _, lane := range lanes {
+			covered += len(lane)
+		}
+		if covered != len(g.Nodes) {
+			return nil, fmt.Errorf("memplan: lanes cover %d nodes, graph has %d", covered, len(g.Nodes))
+		}
+	}
+
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+
+	p := &Plan{index: map[string]int{}}
+	// Pass 1: enumerate managed values in definition order. A value is
+	// managed when a node produces it and it is not a graph output.
+	for _, n := range order {
+		for _, out := range n.Outputs {
+			if g.IsGraphOutput(out) {
+				p.pinned++
+				continue
+			}
+			if _, dup := p.index[out]; dup {
+				return nil, fmt.Errorf("memplan: value %q produced twice", out)
+			}
+			p.index[out] = len(p.names)
+			p.names = append(p.names, out)
+			p.live = append(p.live, Interval{Def: pos[n], LastUse: pos[n]})
+		}
+	}
+	p.uses = make([]int32, len(p.names))
+	p.lastConsumer = make([]string, len(p.names))
+
+	// Pass 2: count uses and find last consumers. Duplicate input names on
+	// one node (e.g. Add(x, x)) count once per occurrence, matching the
+	// executor's one-decrement-per-occurrence discipline.
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			i, ok := p.index[in]
+			if !ok {
+				continue
+			}
+			p.uses[i]++
+			if pos[n] >= p.live[i].LastUse {
+				p.live[i].LastUse = pos[n]
+				p.lastConsumer[i] = n.Name
+			}
+		}
+	}
+
+	p.assignSlots(order, g)
+	return p, nil
+}
+
+// assignSlots maps values to reuse slots by linear scan over the schedule:
+// at each node, outputs claim slots while the node's dying inputs release
+// theirs afterwards — outputs and inputs of one node are live
+// simultaneously (the kernel reads the inputs while writing the outputs),
+// so a node's outputs never reuse the slot of its own dying inputs.
+func (p *Plan) assignSlots(order []*graph.Node, g *graph.Graph) {
+	p.slot = make([]int, len(p.names))
+	for i := range p.slot {
+		p.slot[i] = Unmanaged
+	}
+	remaining := append([]int32(nil), p.uses...)
+	var freeSlots []int
+	for _, n := range order {
+		for _, out := range n.Outputs {
+			i, ok := p.index[out]
+			if !ok {
+				continue
+			}
+			if l := len(freeSlots); l > 0 {
+				p.slot[i] = freeSlots[l-1]
+				freeSlots = freeSlots[:l-1]
+			} else {
+				p.slot[i] = p.slots
+				p.slots++
+			}
+		}
+		// Zero-use outputs die immediately after their defining node.
+		for _, out := range n.Outputs {
+			if i, ok := p.index[out]; ok && p.uses[i] == 0 {
+				freeSlots = append(freeSlots, p.slot[i])
+			}
+		}
+		for _, in := range n.Inputs {
+			i, ok := p.index[in]
+			if !ok {
+				continue
+			}
+			remaining[i]--
+			if remaining[i] == 0 {
+				freeSlots = append(freeSlots, p.slot[i])
+			}
+		}
+	}
+}
+
+// SlotOf returns the reuse slot of a value, or Unmanaged for values the
+// executor must not release (graph inputs, initializers, graph outputs).
+func (p *Plan) SlotOf(value string) int {
+	i, ok := p.index[value]
+	if !ok {
+		return Unmanaged
+	}
+	return p.slot[i]
+}
+
+// IndexOf returns the dense managed-value index of a value, or Unmanaged.
+func (p *Plan) IndexOf(value string) int {
+	i, ok := p.index[value]
+	if !ok {
+		return Unmanaged
+	}
+	return i
+}
+
+// Managed returns the number of managed values.
+func (p *Plan) Managed() int { return len(p.names) }
+
+// Pinned returns the number of produced values excluded from management
+// because they are graph outputs.
+func (p *Plan) Pinned() int { return p.pinned }
+
+// Slots returns the number of distinct reuse slots — the static estimate
+// of how many simultaneously-live intermediate buffers a run needs.
+func (p *Plan) Slots() int { return p.slots }
+
+// InitialRefs returns a fresh copy of the per-value use counts, ready to
+// be decremented by one run of the executor.
+func (p *Plan) InitialRefs() []int32 {
+	return append([]int32(nil), p.uses...)
+}
+
+// UseCount returns the static use count of a value (0 for unmanaged).
+func (p *Plan) UseCount(value string) int {
+	i, ok := p.index[value]
+	if !ok {
+		return 0
+	}
+	return int(p.uses[i])
+}
+
+// LivenessOf returns the liveness interval and last consumer of a managed
+// value; ok is false for unmanaged values.
+func (p *Plan) LivenessOf(value string) (iv Interval, lastConsumer string, ok bool) {
+	i, found := p.index[value]
+	if !found {
+		return Interval{}, "", false
+	}
+	return p.live[i], p.lastConsumer[i], true
+}
+
+// Estimate is a static memory forecast for one run, in bytes, computed
+// from per-value element counts (4 bytes per element).
+type Estimate struct {
+	// PeakLiveBytes is the maximum total size of simultaneously-live
+	// managed values over the schedule — the lower bound any allocator
+	// needs.
+	PeakLiveBytes int64
+	// SlotBytes sums each reuse slot's largest resident value — the
+	// footprint of a slot-based arena, and a close upper bound on what the
+	// executor's free-list arena holds at steady state.
+	SlotBytes int64
+	// TotalBytes sums every managed value — what a run would allocate with
+	// no reuse at all.
+	TotalBytes int64
+}
+
+// Estimate computes the forecast from per-value element counts (as
+// produced by exec.ValueSizes). Values missing from sizes count as zero.
+func (p *Plan) Estimate(sizes map[string]int) Estimate {
+	var e Estimate
+	slotMax := make([]int64, p.slots)
+	// Sweep positions: events ordered by Def; a value is live on [Def,
+	// LastUse]. Peak via prefix sums over position deltas.
+	type delta struct{ pos, bytes int64 }
+	var deltas []delta
+	for i, name := range p.names {
+		b := 4 * int64(sizes[name])
+		e.TotalBytes += b
+		if s := p.slot[i]; s >= 0 && b > slotMax[s] {
+			slotMax[s] = b
+		}
+		deltas = append(deltas, delta{int64(p.live[i].Def), b})
+		deltas = append(deltas, delta{int64(p.live[i].LastUse) + 1, -b})
+	}
+	for _, m := range slotMax {
+		e.SlotBytes += m
+	}
+	// Positions are small dense ints; accumulate per position.
+	byPos := map[int64]int64{}
+	maxPos := int64(0)
+	for _, d := range deltas {
+		byPos[d.pos] += d.bytes
+		if d.pos > maxPos {
+			maxPos = d.pos
+		}
+	}
+	var cur int64
+	for pos := int64(0); pos <= maxPos; pos++ {
+		cur += byPos[pos]
+		if cur > e.PeakLiveBytes {
+			e.PeakLiveBytes = cur
+		}
+	}
+	return e
+}
+
+// Summary is the compact report of a plan, for logs and CLIs.
+type Summary struct {
+	Managed int `json:"managed_values"`
+	Pinned  int `json:"pinned_values"`
+	Slots   int `json:"slots"`
+	ZeroUse int `json:"zero_use_values"`
+}
+
+// Summary reports the plan's headline numbers.
+func (p *Plan) Summary() Summary {
+	s := Summary{Managed: len(p.names), Pinned: p.pinned, Slots: p.slots}
+	for _, u := range p.uses {
+		if u == 0 {
+			s.ZeroUse++
+		}
+	}
+	return s
+}

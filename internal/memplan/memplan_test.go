@@ -1,0 +1,236 @@
+package memplan
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// chainGraph builds in -> A -> a -> B -> b -> C -> out.
+func chainGraph() *graph.Graph {
+	g := graph.New("chain")
+	g.Inputs = []graph.ValueInfo{{Name: "in"}}
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	g.AddNode("A", "Relu", []string{"in"}, []string{"a"}, nil)
+	g.AddNode("B", "Relu", []string{"a"}, []string{"b"}, nil)
+	g.AddNode("C", "Relu", []string{"b"}, []string{"out"}, nil)
+	return g
+}
+
+// diamondGraph builds in -> A -> a consumed by B and C, joined by D -> out.
+func diamondGraph() *graph.Graph {
+	g := graph.New("diamond")
+	g.Inputs = []graph.ValueInfo{{Name: "in"}}
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	g.AddNode("A", "Relu", []string{"in"}, []string{"a"}, nil)
+	g.AddNode("B", "Relu", []string{"a"}, []string{"b"}, nil)
+	g.AddNode("C", "Sigmoid", []string{"a"}, []string{"c"}, nil)
+	g.AddNode("D", "Add", []string{"b", "c"}, []string{"out"}, nil)
+	return g
+}
+
+func TestChainLivenessAndReuse(t *testing.T) {
+	g := chainGraph()
+	p, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" and "b" are managed; "out" is pinned; "in" is a graph input.
+	if p.Managed() != 2 {
+		t.Fatalf("managed = %d, want 2", p.Managed())
+	}
+	if p.Pinned() != 1 {
+		t.Fatalf("pinned = %d, want 1 (the graph output)", p.Pinned())
+	}
+	if p.SlotOf("out") != Unmanaged || p.SlotOf("in") != Unmanaged {
+		t.Fatal("graph input/output must be unmanaged")
+	}
+	iv, last, ok := p.LivenessOf("a")
+	if !ok || last != "B" {
+		t.Fatalf("a: last consumer %q, want B", last)
+	}
+	if iv.Def != 0 || iv.LastUse != 1 {
+		t.Fatalf("a: interval %+v, want [0,1]", iv)
+	}
+	if p.UseCount("a") != 1 || p.UseCount("b") != 1 {
+		t.Fatal("chain values must have one use each")
+	}
+	// "a" dies when B runs, so "b" (defined at B) cannot share its slot —
+	// B's output is claimed while "a" is still live. A 3-node chain still
+	// needs only 2 slots because "a"'s slot frees before C defines "out"
+	// (pinned) ... here there are only two managed values and they overlap
+	// at B, so 2 slots.
+	if p.Slots() != 2 {
+		t.Fatalf("slots = %d, want 2", p.Slots())
+	}
+}
+
+func TestLongChainSlotReuse(t *testing.T) {
+	g := graph.New("chain5")
+	g.Inputs = []graph.ValueInfo{{Name: "in"}}
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	prev := "in"
+	vals := []string{"v0", "v1", "v2", "v3", "out"}
+	for i, v := range vals {
+		g.AddNode(string(rune('A'+i)), "Relu", []string{prev}, []string{v}, nil)
+		prev = v
+	}
+	p, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four managed values but only two ever live at once (each op's input
+	// and output): the plan must converge to 2 slots, not 4.
+	if p.Managed() != 4 {
+		t.Fatalf("managed = %d, want 4", p.Managed())
+	}
+	if p.Slots() != 2 {
+		t.Fatalf("slots = %d, want 2 (ping-pong reuse)", p.Slots())
+	}
+	// Disjoint-lifetime values share: v0 dies at position 1, v2 is defined
+	// at position 2.
+	if p.SlotOf("v0") != p.SlotOf("v2") {
+		t.Fatalf("v0 slot %d, v2 slot %d: disjoint lifetimes must share",
+			p.SlotOf("v0"), p.SlotOf("v2"))
+	}
+}
+
+func TestDiamondUseCounts(t *testing.T) {
+	p, err := Build(diamondGraph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UseCount("a") != 2 {
+		t.Fatalf("a uses = %d, want 2 (B and C)", p.UseCount("a"))
+	}
+	_, last, _ := p.LivenessOf("a")
+	if last != "C" {
+		t.Fatalf("a last consumer = %q, want C (later in topo order)", last)
+	}
+	refs := p.InitialRefs()
+	if len(refs) != 3 {
+		t.Fatalf("refs = %v, want 3 managed values", refs)
+	}
+	refs[p.IndexOf("a")] = 0 // mutating the copy must not touch the plan
+	if p.UseCount("a") != 2 {
+		t.Fatal("InitialRefs must return a copy")
+	}
+}
+
+func TestDuplicateInputCountsPerOccurrence(t *testing.T) {
+	g := graph.New("dup")
+	g.Inputs = []graph.ValueInfo{{Name: "in"}}
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	g.AddNode("A", "Relu", []string{"in"}, []string{"a"}, nil)
+	g.AddNode("B", "Add", []string{"a", "a"}, []string{"out"}, nil)
+	p, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executor decrements once per input occurrence, so the static
+	// count must match: 2, not 1.
+	if p.UseCount("a") != 2 {
+		t.Fatalf("a uses = %d, want 2 (one per occurrence)", p.UseCount("a"))
+	}
+}
+
+func TestZeroUseValue(t *testing.T) {
+	g := graph.New("deadout")
+	g.Inputs = []graph.ValueInfo{{Name: "in"}}
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	// Split-style node with a second output nobody consumes.
+	g.AddNode("A", "Split", []string{"in"}, []string{"used", "dead"}, nil)
+	g.AddNode("B", "Relu", []string{"used"}, []string{"out"}, nil)
+	p, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UseCount("dead") != 0 {
+		t.Fatalf("dead uses = %d, want 0", p.UseCount("dead"))
+	}
+	iv, last, ok := p.LivenessOf("dead")
+	if !ok || last != "" || iv.Def != iv.LastUse {
+		t.Fatalf("dead liveness = %+v %q, want dead-on-arrival", iv, last)
+	}
+	if s := p.Summary(); s.ZeroUse != 1 {
+		t.Fatalf("summary zero-use = %d, want 1", s.ZeroUse)
+	}
+}
+
+func TestLaneCoverageValidated(t *testing.T) {
+	g := chainGraph()
+	_, err := Build(g, [][]*graph.Node{{g.Nodes[0]}}) // misses 2 nodes
+	if err == nil {
+		t.Fatal("want coverage error for partial lanes")
+	}
+	if _, err := Build(g, [][]*graph.Node{g.Nodes[:2], g.Nodes[2:]}); err != nil {
+		t.Fatalf("full lanes rejected: %v", err)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	p, err := Build(chainGraph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{"a": 100, "b": 100, "out": 100}
+	e := p.Estimate(sizes)
+	if e.TotalBytes != 800 { // a + b, 4 bytes each elem
+		t.Fatalf("total = %d, want 800", e.TotalBytes)
+	}
+	// a and b overlap at node B, both live: peak 800.
+	if e.PeakLiveBytes != 800 {
+		t.Fatalf("peak = %d, want 800", e.PeakLiveBytes)
+	}
+	if e.SlotBytes != 800 {
+		t.Fatalf("slot bytes = %d, want 800 (2 slots x 400)", e.SlotBytes)
+	}
+}
+
+func TestRandomGraphsConsistency(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomDAG(rng, 40)
+		p, err := Build(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Invariants: every managed value has a slot; slots < managed+1;
+		// refs length matches; pinned + managed == total produced values.
+		produced := 0
+		for _, n := range g.Nodes {
+			produced += len(n.Outputs)
+		}
+		if p.Managed()+p.Pinned() != produced {
+			t.Fatalf("managed %d + pinned %d != produced %d", p.Managed(), p.Pinned(), produced)
+		}
+		if p.Slots() > p.Managed() {
+			t.Fatalf("slots %d > managed %d", p.Slots(), p.Managed())
+		}
+		if len(p.InitialRefs()) != p.Managed() {
+			t.Fatal("refs length mismatch")
+		}
+		// Slot-sharing values must have disjoint lifetimes.
+		bySlot := map[int][]string{}
+		for _, n := range g.Nodes {
+			for _, out := range n.Outputs {
+				if s := p.SlotOf(out); s != Unmanaged {
+					bySlot[s] = append(bySlot[s], out)
+				}
+			}
+		}
+		for s, names := range bySlot {
+			for i := 0; i < len(names); i++ {
+				for j := i + 1; j < len(names); j++ {
+					a, _, _ := p.LivenessOf(names[i])
+					b, _, _ := p.LivenessOf(names[j])
+					if a.Def <= b.LastUse && b.Def <= a.LastUse {
+						t.Fatalf("slot %d holds overlapping %q %+v and %q %+v",
+							s, names[i], a, names[j], b)
+					}
+				}
+			}
+		}
+	}
+}

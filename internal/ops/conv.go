@@ -7,7 +7,9 @@ import (
 // Conv implements 2-D convolution over NCHW activations with OIHW weights,
 // optional bias, symmetric or ONNX-style padding and grouped channels.
 // Output rows are distributed across intra-op worker goroutines.
-func Conv(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Conv = onHeap(convK)
+
+func convK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Conv", in, 2, 3); err != nil {
 		return nil, err
 	}
@@ -43,7 +45,7 @@ func Conv(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 		return nil, argErr("Conv", "non-positive output size %dx%d from input %v kernel %dx%d", oh, ow, xs, kh, kw)
 	}
 
-	out := tensor.Zeros(n, m, oh, ow)
+	out := tensor.ZerosIn(a, n, m, oh, ow)
 	xd, wdata, od := x.Data(), w.Data(), out.Data()
 	mPerG := m / groups
 
@@ -99,7 +101,7 @@ const (
 	poolAvg
 )
 
-func pool2d(op string, kind poolKind, in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+func pool2d(op string, kind poolKind, in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need(op, in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -123,7 +125,7 @@ func pool2d(op string, kind poolKind, in []*tensor.Tensor, attrs Attrs) ([]*tens
 	}
 	countIncludePad := attrs.Int("count_include_pad", 0) != 0
 
-	out := tensor.Zeros(n, c, oh, ow)
+	out := tensor.ZerosIn(a, n, c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	tensor.ParallelFor(n*c, 1, func(idx int) {
 		plane := idx * h * w
@@ -186,17 +188,23 @@ func pool2d(op string, kind poolKind, in []*tensor.Tensor, attrs Attrs) ([]*tens
 const negInf = float32(-3.4028234663852886e38)
 
 // MaxPool implements 2-D max pooling.
-func MaxPool(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
-	return pool2d("MaxPool", poolMax, in, attrs)
+var MaxPool = onHeap(maxPoolK)
+
+func maxPoolK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	return pool2d("MaxPool", poolMax, in, attrs, a)
 }
 
 // AveragePool implements 2-D average pooling.
-func AveragePool(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
-	return pool2d("AveragePool", poolAvg, in, attrs)
+var AveragePool = onHeap(avgPoolK)
+
+func avgPoolK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	return pool2d("AveragePool", poolAvg, in, attrs, a)
 }
 
 // GlobalAveragePool averages each channel plane to 1x1.
-func GlobalAveragePool(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+var GlobalAveragePool = onHeap(globalAvgPoolK)
+
+func globalAvgPoolK(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("GlobalAveragePool", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -206,7 +214,7 @@ func GlobalAveragePool(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
 		return nil, argErr("GlobalAveragePool", "want 4-D input, got %v", xs)
 	}
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
-	out := tensor.Zeros(n, c, 1, 1)
+	out := tensor.ZerosIn(a, n, c, 1, 1)
 	xd, od := x.Data(), out.Data()
 	plane := h * w
 	if plane == 0 {

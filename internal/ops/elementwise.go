@@ -6,14 +6,14 @@ import (
 	"repro/internal/tensor"
 )
 
-// unary builds a Kernel applying f element-wise.
-func unary(op string, f func(float32) float32) Kernel {
-	return func(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+// unary builds an AllocKernel applying f element-wise.
+func unary(op string, f func(float32) float32) AllocKernel {
+	return func(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 		if err := need(op, in, 1, 1); err != nil {
 			return nil, err
 		}
 		x := in[0]
-		out := tensor.ZerosLike(x)
+		out := tensor.ZerosLikeIn(a, x)
 		xd, od := x.Data(), out.Data()
 		tensor.ParallelRange(len(xd), 4096, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -25,7 +25,9 @@ func unary(op string, f func(float32) float32) Kernel {
 }
 
 // Relu is max(x, 0).
-var Relu = unary("Relu", func(v float32) float32 {
+var Relu = onHeap(reluK)
+
+var reluK = unary("Relu", func(v float32) float32 {
 	if v < 0 {
 		return 0
 	}
@@ -33,55 +35,73 @@ var Relu = unary("Relu", func(v float32) float32 {
 })
 
 // Sigmoid is 1/(1+exp(-x)).
-var Sigmoid = unary("Sigmoid", func(v float32) float32 {
+var Sigmoid = onHeap(sigmoidK)
+
+var sigmoidK = unary("Sigmoid", func(v float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(v))))
 })
 
 // Tanh is the hyperbolic tangent.
-var Tanh = unary("Tanh", func(v float32) float32 {
+var Tanh = onHeap(tanhK)
+
+var tanhK = unary("Tanh", func(v float32) float32 {
 	return float32(math.Tanh(float64(v)))
 })
 
 // Exp is e^x.
-var Exp = unary("Exp", func(v float32) float32 {
+var Exp = onHeap(expK)
+
+var expK = unary("Exp", func(v float32) float32 {
 	return float32(math.Exp(float64(v)))
 })
 
 // Sqrt is the square root (NaN for negative inputs, as ONNX).
-var Sqrt = unary("Sqrt", func(v float32) float32 {
+var Sqrt = onHeap(sqrtK)
+
+var sqrtK = unary("Sqrt", func(v float32) float32 {
 	return float32(math.Sqrt(float64(v)))
 })
 
 // Erf is the Gauss error function, the primitive BERT's GELU decomposes to.
-var Erf = unary("Erf", func(v float32) float32 {
+var Erf = onHeap(erfK)
+
+var erfK = unary("Erf", func(v float32) float32 {
 	return float32(math.Erf(float64(v)))
 })
 
 // Neg is -x.
-var Neg = unary("Neg", func(v float32) float32 { return -v })
+var Neg = onHeap(negK)
+
+var negK = unary("Neg", func(v float32) float32 { return -v })
 
 // Identity passes its single input through unchanged (copied, so downstream
 // mutation hazards cannot arise).
-func Identity(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+var Identity = onHeap(identityK)
+
+func identityK(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Identity", in, 1, 1); err != nil {
 		return nil, err
 	}
-	return []*tensor.Tensor{in[0].Clone()}, nil
+	return []*tensor.Tensor{in[0].CloneIn(a)}, nil
 }
 
 // LeakyRelu is x for x>=0 else alpha*x (attribute alpha, default 0.01).
-func LeakyRelu(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var LeakyRelu = onHeap(leakyReluK)
+
+func leakyReluK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	alpha := float32(attrs.Float("alpha", 0.01))
 	return unary("LeakyRelu", func(v float32) float32 {
 		if v < 0 {
 			return alpha * v
 		}
 		return v
-	})(in, attrs)
+	})(in, attrs, a)
 }
 
 // Clip bounds x to [min, max] given as attributes (ONNX opset-6 style).
-func Clip(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Clip = onHeap(clipK)
+
+func clipK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 	lo := float32(attrs.Float("min", -math.MaxFloat32))
 	hi := float32(attrs.Float("max", math.MaxFloat32))
 	return unary("Clip", func(v float32) float32 {
@@ -92,19 +112,20 @@ func Clip(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 			return hi
 		}
 		return v
-	})(in, attrs)
+	})(in, attrs, a)
 }
 
-// binary builds a Kernel applying f element-wise with NumPy broadcasting.
-func binary(op string, f func(a, b float32) float32) Kernel {
-	return func(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+// binary builds an AllocKernel applying f element-wise with NumPy
+// broadcasting.
+func binary(op string, f func(a, b float32) float32) AllocKernel {
+	return func(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 		if err := need(op, in, 2, 2); err != nil {
 			return nil, err
 		}
 		a, b := in[0], in[1]
 		as, bs := a.Shape(), b.Shape()
 		if as.Equal(bs) { // fast path
-			out := tensor.ZerosLike(a)
+			out := tensor.ZerosLikeIn(alc, a)
 			ad, bd, od := a.Data(), b.Data(), out.Data()
 			tensor.ParallelRange(len(od), 4096, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
@@ -117,7 +138,7 @@ func binary(op string, f func(a, b float32) float32) Kernel {
 		if err != nil {
 			return nil, argErr(op, "%v", err)
 		}
-		out := tensor.Zeros(os...)
+		out := tensor.ZerosIn(alc, os...)
 		od := out.Data()
 		oStrides := os.Strides()
 		aIdx := broadcastStrides(as, os)
@@ -163,25 +184,37 @@ func broadcastStrides(s, out tensor.Shape) []int {
 }
 
 // Add is element-wise a+b with broadcasting.
-var Add = binary("Add", func(a, b float32) float32 { return a + b })
+var Add = onHeap(addK)
+
+var addK = binary("Add", func(a, b float32) float32 { return a + b })
 
 // Sub is element-wise a-b with broadcasting.
-var Sub = binary("Sub", func(a, b float32) float32 { return a - b })
+var Sub = onHeap(subK)
+
+var subK = binary("Sub", func(a, b float32) float32 { return a - b })
 
 // Mul is element-wise a*b with broadcasting.
-var Mul = binary("Mul", func(a, b float32) float32 { return a * b })
+var Mul = onHeap(mulK)
+
+var mulK = binary("Mul", func(a, b float32) float32 { return a * b })
 
 // Div is element-wise a/b with broadcasting.
-var Div = binary("Div", func(a, b float32) float32 { return a / b })
+var Div = onHeap(divK)
+
+var divK = binary("Div", func(a, b float32) float32 { return a / b })
 
 // Pow is element-wise a^b with broadcasting.
-var Pow = binary("Pow", func(a, b float32) float32 {
+var Pow = onHeap(powK)
+
+var powK = binary("Pow", func(a, b float32) float32 {
 	return float32(math.Pow(float64(a), float64(b)))
 })
 
 // Softmax normalizes along the given axis (attribute "axis", default -1)
 // with the usual max-subtraction for numerical stability.
-func Softmax(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Softmax = onHeap(softmaxK)
+
+func softmaxK(in []*tensor.Tensor, attrs Attrs, a2 tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Softmax", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -200,7 +233,7 @@ func Softmax(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	}
 	axisN := s[axis]
 	outer := x.Numel() / maxInt(inner*axisN, 1)
-	out := tensor.ZerosLike(x)
+	out := tensor.ZerosLikeIn(a2, x)
 	xd, od := x.Data(), out.Data()
 	tensor.ParallelFor(outer*inner, 16, func(oi int) {
 		o := oi / inner

@@ -7,7 +7,9 @@ import (
 // MatMul implements ONNX MatMul: 2-D matrix product plus batched variants
 // where both inputs have rank >= 2 and leading dimensions broadcast.
 // Rows of the left operand are distributed across intra-op workers.
-func MatMul(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+var MatMul = onHeap(matMulK)
+
+func matMulK(in []*tensor.Tensor, _ Attrs, a2 tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("MatMul", in, 2, 2); err != nil {
 		return nil, err
 	}
@@ -26,7 +28,7 @@ func MatMul(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
 		return nil, argErr("MatMul", "batch dims incompatible: %v", err)
 	}
 	outShape := append(batchA.Clone(), m, n)
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(a2, outShape...)
 
 	batches := batchA.Numel()
 	aBatch := as[:as.Rank()-2].Numel()
@@ -82,7 +84,9 @@ func matmul2D(a, b, c []float32, m, k, n int) {
 
 // Gemm implements ONNX Gemm: Y = alpha*op(A)*op(B) + beta*C with optional
 // transposes; C broadcasts over rows when it is a vector.
-func Gemm(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Gemm = onHeap(gemmK)
+
+func gemmK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Gemm", in, 2, 3); err != nil {
 		return nil, err
 	}
@@ -106,7 +110,7 @@ func Gemm(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	if k != kb {
 		return nil, argErr("Gemm", "inner dimensions differ: %d vs %d", k, kb)
 	}
-	out := tensor.Zeros(m, n)
+	out := tensor.ZerosIn(alc, m, n)
 	ad, bd, od := a.Data(), b.Data(), out.Data()
 
 	tensor.ParallelRange(m, 4, func(lo, hi int) {

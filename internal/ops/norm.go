@@ -9,7 +9,9 @@ import (
 // BatchNormalization implements inference-mode batch norm over NCHW input:
 // y = scale*(x-mean)/sqrt(var+eps) + bias with per-channel statistics.
 // Inputs: X, scale, bias, mean, variance.
-func BatchNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var BatchNormalization = onHeap(batchNormK)
+
+func batchNormK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("BatchNormalization", in, 5, 5); err != nil {
 		return nil, err
 	}
@@ -27,13 +29,16 @@ func BatchNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, err
 	eps := attrs.Float("epsilon", 1e-5)
 	n := xs[0]
 	plane := x.Numel() / maxInt(n*c, 1)
-	out := tensor.ZerosLike(x)
+	out := tensor.ZerosLikeIn(alc, x)
 	xd, od := x.Data(), out.Data()
 	sd, bd, md, vd := scale.Data(), bias.Data(), mean.Data(), variance.Data()
 
-	// Precompute per-channel affine parameters: y = a*x + b.
-	as := make([]float32, c)
-	bs := make([]float32, c)
+	// Precompute per-channel affine parameters: y = a*x + b. The scratch
+	// rides the run allocator too and is returned before the kernel exits.
+	as := tensor.Alloc(alc, c)
+	bs := tensor.Alloc(alc, c)
+	defer tensor.Free(alc, as)
+	defer tensor.Free(alc, bs)
 	for ch := 0; ch < c; ch++ {
 		inv := float32(1 / math.Sqrt(float64(vd[ch])+eps))
 		as[ch] = sd[ch] * inv
@@ -53,7 +58,9 @@ func BatchNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, err
 // LayerNormalization normalizes over the trailing axes starting at
 // attribute "axis" (default -1): y = scale*(x-mu)/sqrt(var+eps) + bias.
 // Inputs: X, scale, optional bias.
-func LayerNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var LayerNormalization = onHeap(layerNormK)
+
+func layerNormK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("LayerNormalization", in, 2, 3); err != nil {
 		return nil, err
 	}
@@ -82,7 +89,7 @@ func LayerNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, err
 	}
 	eps := attrs.Float("epsilon", 1e-5)
 	outer := x.Numel() / maxInt(inner, 1)
-	out := tensor.ZerosLike(x)
+	out := tensor.ZerosLikeIn(alc, x)
 	xd, od, sd := x.Data(), out.Data(), scale.Data()
 	var bd []float32
 	if bias != nil {
@@ -115,7 +122,9 @@ func LayerNormalization(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, err
 
 // ReduceMean averages over the axes given by attribute "axes" (default:
 // all), keeping reduced dimensions when "keepdims" != 0 (the default).
-func ReduceMean(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var ReduceMean = onHeap(reduceMeanK)
+
+func reduceMeanK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("ReduceMean", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -151,7 +160,7 @@ func ReduceMean(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 			outShape = append(outShape, xs[d])
 		}
 	}
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(alc, outShape...)
 	od, xd := out.Data(), x.Data()
 	xStrides := xs.Strides()
 

@@ -5,12 +5,13 @@ import (
 	"sort"
 )
 
-// registry maps ONNX-style op-type names to their kernels. It is populated
-// at init time and read-only afterwards, so lookups need no locking.
-var registry = map[string]Kernel{}
+// registry maps ONNX-style op-type names to their kernels, in the
+// allocator-aware form. It is populated at init time and read-only
+// afterwards, so lookups need no locking.
+var registry = map[string]AllocKernel{}
 
 // register installs a kernel; duplicate registration is a programmer error.
-func register(name string, k Kernel) {
+func register(name string, k AllocKernel) {
 	if _, dup := registry[name]; dup {
 		panic("ops: duplicate kernel registration: " + name)
 	}
@@ -18,47 +19,57 @@ func register(name string, k Kernel) {
 }
 
 func init() {
-	register("Conv", Conv)
-	register("MaxPool", MaxPool)
-	register("AveragePool", AveragePool)
-	register("GlobalAveragePool", GlobalAveragePool)
-	register("MatMul", MatMul)
-	register("Gemm", Gemm)
-	register("Relu", Relu)
-	register("LeakyRelu", LeakyRelu)
-	register("Sigmoid", Sigmoid)
-	register("Tanh", Tanh)
-	register("Exp", Exp)
-	register("Sqrt", Sqrt)
-	register("Erf", Erf)
-	register("Neg", Neg)
-	register("Clip", Clip)
-	register("Identity", Identity)
-	register("Add", Add)
-	register("Sub", Sub)
-	register("Mul", Mul)
-	register("Div", Div)
-	register("Pow", Pow)
-	register("Softmax", Softmax)
-	register("BatchNormalization", BatchNormalization)
-	register("LayerNormalization", LayerNormalization)
-	register("ReduceMean", ReduceMean)
-	register("Concat", ConcatOp)
-	register("Reshape", Reshape)
-	register("Flatten", Flatten)
-	register("Transpose", Transpose)
-	register("Slice", Slice)
-	register("Gather", Gather)
-	register("Split", Split)
-	register("Squeeze", Squeeze)
-	register("Unsqueeze", Unsqueeze)
-	register("Shape", ShapeOp)
-	register("Constant", Constant)
+	register("Conv", convK)
+	register("MaxPool", maxPoolK)
+	register("AveragePool", avgPoolK)
+	register("GlobalAveragePool", globalAvgPoolK)
+	register("MatMul", matMulK)
+	register("Gemm", gemmK)
+	register("Relu", reluK)
+	register("LeakyRelu", leakyReluK)
+	register("Sigmoid", sigmoidK)
+	register("Tanh", tanhK)
+	register("Exp", expK)
+	register("Sqrt", sqrtK)
+	register("Erf", erfK)
+	register("Neg", negK)
+	register("Clip", clipK)
+	register("Identity", identityK)
+	register("Add", addK)
+	register("Sub", subK)
+	register("Mul", mulK)
+	register("Div", divK)
+	register("Pow", powK)
+	register("Softmax", softmaxK)
+	register("BatchNormalization", batchNormK)
+	register("LayerNormalization", layerNormK)
+	register("ReduceMean", reduceMeanK)
+	register("Concat", concatK)
+	register("Reshape", reshapeK)
+	register("Flatten", flattenK)
+	register("Transpose", transposeK)
+	register("Slice", sliceK)
+	register("Gather", gatherK)
+	register("Split", splitK)
+	register("Squeeze", squeezeK)
+	register("Unsqueeze", unsqueezeK)
+	register("Shape", shapeOpK)
+	register("Constant", constantK)
 }
 
-// Lookup returns the kernel registered for the op type, or an error naming
-// the missing operator.
+// Lookup returns the heap-allocating kernel registered for the op type, or
+// an error naming the missing operator.
 func Lookup(opType string) (Kernel, error) {
+	k, err := LookupAlloc(opType)
+	if err != nil {
+		return nil, err
+	}
+	return onHeap(k), nil
+}
+
+// LookupAlloc returns the allocator-aware kernel for the op type — the
+// form the executors use so a run's arena reaches every output allocation.
+func LookupAlloc(opType string) (AllocKernel, error) {
 	k, ok := registry[opType]
 	if !ok {
 		return nil, fmt.Errorf("ops: no kernel registered for op type %q", opType)

@@ -7,7 +7,9 @@ import (
 // Resize implements nearest-neighbor spatial up/down-sampling of NCHW
 // input by integer attribute factors "scale_h"/"scale_w" (default 2), the
 // subset of ONNX Resize that feature-pyramid necks (Yolo, Retinanet) use.
-func Resize(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Resize = onHeap(resizeK)
+
+func resizeK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Resize", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -23,7 +25,7 @@ func Resize(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	}
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	oh, ow := h*scaleH, w*scaleW
-	out := tensor.Zeros(n, c, oh, ow)
+	out := tensor.ZerosIn(alc, n, c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	tensor.ParallelFor(n*c, 4, func(idx int) {
 		src := idx * h * w
@@ -41,5 +43,5 @@ func Resize(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 }
 
 func init() {
-	register("Resize", Resize)
+	register("Resize", resizeK)
 }

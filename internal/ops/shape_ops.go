@@ -5,7 +5,9 @@ import (
 )
 
 // ConcatOp joins its inputs along attribute "axis".
-func ConcatOp(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var ConcatOp = onHeap(concatK)
+
+func concatK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Concat", in, 1, -1); err != nil {
 		return nil, err
 	}
@@ -21,7 +23,7 @@ func ConcatOp(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	if axis < 0 {
 		axis += outShape.Rank()
 	}
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(alc, outShape...)
 	od := out.Data()
 
 	outer := 1
@@ -48,7 +50,9 @@ func ConcatOp(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 // Reshape implements ONNX Reshape: input 0 is the data, input 1 a rank-1
 // tensor holding the target dims (with -1 inference and 0 meaning "copy
 // input dim"). The attribute form "shape" is also accepted for convenience.
-func Reshape(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Reshape = onHeap(reshapeK)
+
+func reshapeK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Reshape", in, 1, 2); err != nil {
 		return nil, err
 	}
@@ -73,7 +77,7 @@ func Reshape(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 			dims[i] = x.Shape()[i]
 		}
 	}
-	r, err := x.Clone().Reshape(dims...)
+	r, err := x.CloneIn(alc).Reshape(dims...)
 	if err != nil {
 		return nil, argErr("Reshape", "%v", err)
 	}
@@ -82,7 +86,9 @@ func Reshape(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 
 // Flatten collapses dimensions into a 2-D matrix at attribute "axis"
 // (default 1): [d0*…*d(axis-1), d(axis)*…*dn].
-func Flatten(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Flatten = onHeap(flattenK)
+
+func flattenK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Flatten", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -99,7 +105,7 @@ func Flatten(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 		rows *= x.Shape()[d]
 	}
 	cols := x.Numel() / maxInt(rows, 1)
-	r, err := x.Clone().Reshape(rows, cols)
+	r, err := x.CloneIn(alc).Reshape(rows, cols)
 	if err != nil {
 		return nil, argErr("Flatten", "%v", err)
 	}
@@ -107,7 +113,9 @@ func Flatten(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 }
 
 // Transpose permutes dimensions per attribute "perm" (default: reverse).
-func Transpose(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Transpose = onHeap(transposeK)
+
+func transposeK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Transpose", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -132,7 +140,7 @@ func Transpose(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 		seen[p] = true
 		outShape[i] = x.Shape()[p]
 	}
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(alc, outShape...)
 	xd, od := x.Data(), out.Data()
 	inStrides := x.Shape().Strides()
 	outStrides := outShape.Strides()
@@ -158,7 +166,9 @@ func Transpose(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 // Slice extracts a sub-tensor using attributes "starts", "ends" and
 // optional "axes" (ONNX opset-1 attribute form). Negative indices count
 // from the end; ends are clamped.
-func Slice(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Slice = onHeap(sliceK)
+
+func sliceK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Slice", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -210,7 +220,7 @@ func Slice(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	for d := range outShape {
 		outShape[d] = hi[d] - lo[d]
 	}
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(alc, outShape...)
 	od, xd := out.Data(), x.Data()
 	inStrides := x.Shape().Strides()
 	outStrides := outShape.Strides()
@@ -230,7 +240,9 @@ func Slice(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 
 // Gather selects entries along attribute "axis" (default 0) using input 1
 // as the (float-encoded) index tensor.
-func Gather(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Gather = onHeap(gatherK)
+
+func gatherK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Gather", in, 2, 2); err != nil {
 		return nil, err
 	}
@@ -248,7 +260,7 @@ func Gather(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	outShape = append(outShape, x.Shape()[:axis]...)
 	outShape = append(outShape, indices.Shape()...)
 	outShape = append(outShape, x.Shape()[axis+1:]...)
-	out := tensor.Zeros(outShape...)
+	out := tensor.ZerosIn(alc, outShape...)
 
 	outer := 1
 	for d := 0; d < axis; d++ {
@@ -279,7 +291,9 @@ func Gather(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 
 // Split divides input 0 along attribute "axis" into equal parts (attribute
 // "num" or per-part "split" sizes) and returns one output per part.
-func Split(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Split = onHeap(splitK)
+
+func splitK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Split", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -328,7 +342,7 @@ func Split(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	for p, sz := range sizes {
 		shape := x.Shape().Clone()
 		shape[axis] = sz
-		t := tensor.Zeros(shape...)
+		t := tensor.ZerosIn(alc, shape...)
 		td := t.Data()
 		for o := 0; o < outer; o++ {
 			src := (o*axisLen + offset) * inner
@@ -342,7 +356,9 @@ func Split(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 }
 
 // Unsqueeze inserts size-1 dimensions at the attribute "axes" positions.
-func Unsqueeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Unsqueeze = onHeap(unsqueezeK)
+
+func unsqueezeK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Unsqueeze", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -369,7 +385,7 @@ func Unsqueeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 			src++
 		}
 	}
-	r, err := x.Clone().Reshape(shape...)
+	r, err := x.CloneIn(alc).Reshape(shape...)
 	if err != nil {
 		return nil, argErr("Unsqueeze", "%v", err)
 	}
@@ -378,7 +394,9 @@ func Unsqueeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 
 // Squeeze removes size-1 dimensions, either those in attribute "axes" or
 // all of them when absent.
-func Squeeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Squeeze = onHeap(squeezeK)
+
+func squeezeK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Squeeze", in, 1, 1); err != nil {
 		return nil, err
 	}
@@ -406,7 +424,7 @@ func Squeeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 			shape = append(shape, e)
 		}
 	}
-	r, err := x.Clone().Reshape(shape...)
+	r, err := x.CloneIn(alc).Reshape(shape...)
 	if err != nil {
 		return nil, argErr("Squeeze", "%v", err)
 	}
@@ -415,12 +433,14 @@ func Squeeze(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 
 // ShapeOp returns the input's shape as a rank-1 float tensor (floats stand
 // in for int64 in this engine).
-func ShapeOp(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
+var ShapeOp = onHeap(shapeOpK)
+
+func shapeOpK(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if err := need("Shape", in, 1, 1); err != nil {
 		return nil, err
 	}
 	s := in[0].Shape()
-	out := tensor.Zeros(len(s))
+	out := tensor.ZerosIn(alc, len(s))
 	for i, d := range s {
 		out.Data()[i] = float32(d)
 	}
@@ -429,7 +449,9 @@ func ShapeOp(in []*tensor.Tensor, _ Attrs) ([]*tensor.Tensor, error) {
 
 // Constant materializes its attribute "value" ([]float32) with optional
 // attribute "shape"; it has no tensor inputs.
-func Constant(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
+var Constant = onHeap(constantK)
+
+func constantK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 	if len(in) != 0 {
 		return nil, argErr("Constant", "takes no inputs, got %d", len(in))
 	}
@@ -442,7 +464,7 @@ func Constant(in []*tensor.Tensor, attrs Attrs) ([]*tensor.Tensor, error) {
 	if s.Numel() != len(vals) {
 		return nil, argErr("Constant", "shape %v incompatible with %d values", s, len(vals))
 	}
-	d := make([]float32, len(vals))
+	d := tensor.Alloc(alc, len(vals))
 	copy(d, vals)
 	return []*tensor.Tensor{tensor.New(s, d)}, nil
 }

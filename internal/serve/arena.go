@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"sync"
+
+	ramiel "repro"
+	"repro/internal/tensor"
+)
+
+// arenaSource keeps per-worker tensor arenas alive across requests. Arenas
+// ride a sync.Pool: a request borrows one for the duration of its plan
+// execution, so an arena is never shared by two concurrent runs (the
+// RunArena contract) yet survives from request to request — which is what
+// turns steady-state serving's per-request intermediate tensors into
+// free-list reuse instead of GC garbage. Under memory pressure the GC
+// empties the sync.Pool and the arenas (with their held buffers) are
+// simply collected.
+//
+// All arenas report into one shared stats block so /v1/stats shows
+// aggregate hit/miss/peak numbers for the whole server.
+type arenaSource struct {
+	stats tensor.ArenaStats
+	pool  sync.Pool
+}
+
+func newArenaSource() *arenaSource {
+	s := &arenaSource{}
+	s.pool.New = func() any { return tensor.NewArenaWithStats(&s.stats) }
+	return s
+}
+
+// run executes the program with a borrowed arena; a nil source (arena
+// disabled) falls back to the plain heap path.
+func (s *arenaSource) run(prog *ramiel.Program, feeds ramiel.Env) (ramiel.Env, error) {
+	if s == nil {
+		return prog.Run(feeds)
+	}
+	a := s.pool.Get().(*tensor.Arena)
+	defer s.pool.Put(a)
+	return prog.RunArena(feeds, a)
+}
+
+// snapshot reads the aggregate counters; ok is false when disabled.
+func (s *arenaSource) snapshot() (tensor.ArenaStatsSnapshot, bool) {
+	if s == nil {
+		return tensor.ArenaStatsSnapshot{}, false
+	}
+	return s.stats.Snapshot(), true
+}

@@ -39,6 +39,7 @@ type batcher struct {
 	model      string
 	reg        *Registry
 	pool       *Pool
+	arenas     *arenaSource // nil = heap execution
 	maxBatch   int
 	flushAfter time.Duration
 	deadline   time.Duration
@@ -57,11 +58,12 @@ type batcher struct {
 	inflight sync.WaitGroup
 }
 
-func newBatcher(model string, reg *Registry, pool *Pool, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
+func newBatcher(model string, reg *Registry, pool *Pool, arenas *arenaSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
 	return &batcher{
 		model:      model,
 		reg:        reg,
 		pool:       pool,
+		arenas:     arenas,
 		maxBatch:   maxBatch,
 		flushAfter: flushAfter,
 		deadline:   deadline,
@@ -151,7 +153,7 @@ func (b *batcher) runBatch(jobs []*inferJob) {
 		}
 		feeds = merged
 	}
-	outs, err := b.pool.Do(ctx, func() (ramiel.Env, error) { return prog.Run(feeds) })
+	outs, err := b.pool.Do(ctx, func() (ramiel.Env, error) { return b.arenas.run(prog, feeds) })
 	if err != nil {
 		b.failAll(jobs, err)
 		return

@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"runtime"
+	"runtime/metrics"
 	"time"
 
 	ramiel "repro"
+	"repro/internal/tensor"
 )
 
 // TensorJSON is the wire form of a dense float32 tensor.
@@ -73,6 +77,8 @@ type statsResponse struct {
 	UptimeSeconds float64                       `json:"uptime_seconds"`
 	Registry      RegistryStatsSnapshot         `json:"registry"`
 	Pool          poolStatsJSON                 `json:"pool"`
+	Arena         arenaStatsJSON                `json:"arena"`
+	Runtime       runtimeStatsJSON              `json:"runtime"`
 	Models        map[string]ModelStatsSnapshot `json:"models"`
 }
 
@@ -81,6 +87,81 @@ type poolStatsJSON struct {
 	QueueDepth   int64 `json:"queue_depth"`
 	InFlight     int64 `json:"in_flight"`
 	PeakInFlight int64 `json:"peak_in_flight"`
+}
+
+// arenaStatsJSON aggregates every worker arena's counters. When disabled,
+// only Enabled is meaningful.
+type arenaStatsJSON struct {
+	Enabled bool `json:"enabled"`
+	tensor.ArenaStatsSnapshot
+}
+
+// runtimeStatsJSON surfaces the Go runtime's memory counters next to the
+// serving stats, so arena wins (flat heap, fewer GCs) are observable from
+// the API alone. Values come from runtime/metrics, which reads without
+// stopping the world — a monitoring system may poll /v1/stats tightly
+// without pausing in-flight inference (runtime.ReadMemStats would STW).
+type runtimeStatsJSON struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	SysBytes        uint64 `json:"sys_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	Frees           uint64 `json:"frees"`
+	NumGC           uint64 `json:"num_gc"`
+	MaxGCPauseNs    uint64 `json:"max_gc_pause_ns"`
+	Goroutines      int    `json:"goroutines"`
+}
+
+// runtimeMetricNames is the fixed sample set read per stats request.
+var runtimeMetricNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/allocs:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/heap/frees:objects",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+func readRuntimeStats() runtimeStatsJSON {
+	samples := make([]metrics.Sample, len(runtimeMetricNames))
+	for i, name := range runtimeMetricNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	u64 := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	// Largest observed stop-the-world GC pause: the upper bound of the
+	// highest non-empty histogram bucket.
+	var maxPause uint64
+	if samples[6].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[6].Value.Float64Histogram()
+		for i := len(h.Counts) - 1; i >= 0; i-- {
+			if h.Counts[i] == 0 {
+				continue
+			}
+			bound := h.Buckets[i+1]
+			if math.IsInf(bound, 1) {
+				bound = h.Buckets[i]
+			}
+			maxPause = uint64(bound * 1e9)
+			break
+		}
+	}
+	return runtimeStatsJSON{
+		HeapAllocBytes:  u64(0),
+		TotalAllocBytes: u64(1),
+		SysBytes:        u64(2),
+		Mallocs:         u64(3),
+		Frees:           u64(4),
+		NumGC:           u64(5),
+		MaxGCPauseNs:    maxPause,
+		Goroutines:      runtime.NumGoroutine(),
+	}
 }
 
 type errorResponse struct {
@@ -243,6 +324,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		models[name] = st.Snapshot()
 	}
 	s.mu.Unlock()
+	arena := arenaStatsJSON{}
+	arena.ArenaStatsSnapshot, arena.Enabled = s.ArenaStats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: s.Uptime().Seconds(),
 		Registry:      s.reg.Stats(),
@@ -252,7 +335,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:     s.pool.InFlight(),
 			PeakInFlight: s.pool.PeakInFlight(),
 		},
-		Models: models,
+		Arena:   arena,
+		Runtime: readRuntimeStats(),
+		Models:  models,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	ramiel "repro"
+	"repro/internal/tensor"
 )
 
 // Config tunes the serving runtime. Zero values pick sensible defaults.
@@ -29,6 +30,10 @@ type Config struct {
 	Switched bool
 	// Deadline is the default per-request deadline (default 30s).
 	Deadline time.Duration
+	// NoArena disables arena-backed execution; the default (false) keeps a
+	// tensor arena per worker, recycled across requests, so steady-state
+	// inference performs no per-request intermediate-tensor allocation.
+	NoArena bool
 	// Compile sets the Ramiel pipeline options used for every model.
 	Compile ramiel.Options
 }
@@ -63,9 +68,10 @@ type InferMeta struct {
 // Server is the serving runtime: registry + pool + per-model batchers.
 // All methods are safe for concurrent use.
 type Server struct {
-	cfg  Config
-	reg  *Registry
-	pool *Pool
+	cfg    Config
+	reg    *Registry
+	pool   *Pool
+	arenas *arenaSource // nil when Config.NoArena
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -78,7 +84,12 @@ type Server struct {
 // New creates a serving runtime and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	if !cfg.NoArena {
+		// Arena runs consult the memory plan; build it at warm/compile
+		// time rather than on the first request.
+		cfg.Compile.EagerMemPlan = true
+	}
+	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.Compile, cfg.Switched),
 		pool:     NewPool(cfg.Workers, cfg.Backlog),
@@ -86,6 +97,16 @@ func New(cfg Config) *Server {
 		stats:    map[string]*ModelStats{},
 		start:    time.Now(),
 	}
+	if !cfg.NoArena {
+		s.arenas = newArenaSource()
+	}
+	return s
+}
+
+// ArenaStats reads the aggregate arena counters across all worker arenas;
+// ok is false when the arena is disabled.
+func (s *Server) ArenaStats() (snap tensor.ArenaStatsSnapshot, ok bool) {
+	return s.arenas.snapshot()
 }
 
 // Registry exposes the server's model registry for registration and
@@ -146,7 +167,7 @@ func (s *Server) batcher(model string) *batcher {
 	}
 	b, ok := s.batchers[model]
 	if !ok {
-		b = newBatcher(model, s.reg, s.pool, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
+		b = newBatcher(model, s.reg, s.pool, s.arenas, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
 			s.statsLocked(model))
 		s.batchers[model] = b
 	}
@@ -199,7 +220,7 @@ func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, n
 	if err != nil {
 		return nil, 0, err
 	}
-	outs, err := s.pool.Do(ctx, func() (ramiel.Env, error) { return prog.Run(feeds) })
+	outs, err := s.pool.Do(ctx, func() (ramiel.Env, error) { return s.arenas.run(prog, feeds) })
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,106 @@
+package tensor
+
+// Allocator provides float32 backing storage for tensors. Implementations
+// must be safe for concurrent use: the parallel executor's lane goroutines
+// share one allocator per run. A nil Allocator everywhere means plain heap
+// allocation (make), which is also the behavior of the package-level
+// constructors — the arena path is strictly opt-in.
+//
+// The contract mirrors an arena, not a garbage collector: Get hands out a
+// zeroed slice of exactly the requested length, and Put may only be called
+// once per buffer, after its last reader is done. Buffers handed to callers
+// outside the runtime (graph outputs) are simply never Put and age out as
+// ordinary heap memory.
+type Allocator interface {
+	// Get returns a zero-filled slice with len == n.
+	Get(n int) []float32
+	// Put returns a buffer obtained from Get for reuse. Putting a foreign
+	// (heap-made) buffer is allowed; it joins the pool by capacity.
+	Put(buf []float32)
+}
+
+// allocData is the single allocation path every tensor constructor in this
+// package funnels through: one place to route storage to an arena, count
+// it, or swap the strategy.
+func allocData(a Allocator, n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	return a.Get(n)
+}
+
+// uninitAllocator is an optional Allocator refinement: storage whose
+// contents the caller fully overwrites, skipping the zero fill on recycled
+// buffers. Arena implements it.
+type uninitAllocator interface {
+	GetUninit(n int) []float32
+}
+
+// allocDataUninit is allocData for copy constructors (CloneIn, FromSliceIn,
+// FullIn): every element is written immediately after, so a zeroed recycled
+// buffer would be memset twice.
+func allocDataUninit(a Allocator, n int) []float32 {
+	if ua, ok := a.(uninitAllocator); ok {
+		return ua.GetUninit(n)
+	}
+	return allocData(a, n)
+}
+
+// Alloc returns a zero-filled []float32 of length n from a (nil = heap) —
+// for kernel scratch buffers that are not tensors.
+func Alloc(a Allocator, n int) []float32 { return allocData(a, n) }
+
+// Free returns a scratch buffer to a; a no-op when a is nil.
+func Free(a Allocator, buf []float32) {
+	if a != nil && len(buf) > 0 {
+		a.Put(buf)
+	}
+}
+
+// ReleaseData returns a tensor's backing storage to the allocator. It is a
+// convenience for runtimes that track value deadness (internal/exec); the
+// tensor must not be used afterwards. A nil allocator makes this a no-op
+// (the GC owns the buffer).
+func ReleaseData(a Allocator, t *Tensor) {
+	if a == nil || t == nil || len(t.data) == 0 {
+		return
+	}
+	a.Put(t.data)
+}
+
+// ZerosIn allocates a zero-filled tensor of the given shape from a (nil =
+// heap).
+func ZerosIn(a Allocator, dims ...int) *Tensor {
+	s := NewShape(dims...)
+	return &Tensor{shape: s, data: allocData(a, s.Numel())}
+}
+
+// ZerosLikeIn allocates a zero-filled tensor with t's shape from a.
+func ZerosLikeIn(a Allocator, t *Tensor) *Tensor {
+	return &Tensor{shape: t.shape.Clone(), data: allocData(a, len(t.data))}
+}
+
+// FullIn allocates a tensor of the given shape with every element set to v,
+// from a.
+func FullIn(a Allocator, v float32, dims ...int) *Tensor {
+	s := NewShape(dims...)
+	t := &Tensor{shape: s, data: allocDataUninit(a, s.Numel())}
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// FromSliceIn builds a rank-1 tensor copying vals, from a.
+func FromSliceIn(a Allocator, vals []float32) *Tensor {
+	d := allocDataUninit(a, len(vals))
+	copy(d, vals)
+	return &Tensor{shape: Shape{len(vals)}, data: d}
+}
+
+// CloneIn returns a deep copy of the tensor with storage from a.
+func (t *Tensor) CloneIn(a Allocator) *Tensor {
+	d := allocDataUninit(a, len(t.data))
+	copy(d, t.data)
+	return &Tensor{shape: t.shape.Clone(), data: d}
+}

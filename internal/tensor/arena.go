@@ -1,0 +1,224 @@
+package tensor
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numClasses covers capacities up to 2^32 elements (16 GiB of float32),
+// far beyond any plan this runtime executes.
+const numClasses = 33
+
+// ArenaStats counts arena traffic. All fields are atomics so several
+// arenas (one per serving worker) can share a single stats block and the
+// hot path never takes a lock beyond the arena's own.
+type ArenaStats struct {
+	// Gets counts allocations served; Hits the subset satisfied from a
+	// free list, Misses the subset that had to grow the heap.
+	Gets   atomic.Int64
+	Hits   atomic.Int64
+	Misses atomic.Int64
+	// Puts counts buffers returned for reuse.
+	Puts atomic.Int64
+	// AllocBytes is the total bytes of fresh backing arrays created on
+	// misses — the arena's entire footprint came from here.
+	AllocBytes atomic.Int64
+	// InUseBytes tracks bytes currently handed out (Get minus Put);
+	// PeakBytes is its high-water mark, the observed peak working set.
+	InUseBytes atomic.Int64
+	PeakBytes  atomic.Int64
+	// HeldBytes tracks bytes parked in free lists awaiting reuse.
+	HeldBytes atomic.Int64
+}
+
+// notePeak advances the PeakBytes high-water mark to at least v.
+func (s *ArenaStats) notePeak(v int64) {
+	for {
+		old := s.PeakBytes.Load()
+		if v <= old || s.PeakBytes.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ArenaStatsSnapshot is the JSON-friendly view of ArenaStats.
+type ArenaStatsSnapshot struct {
+	Gets       int64 `json:"gets"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Puts       int64 `json:"puts"`
+	AllocBytes int64 `json:"alloc_bytes"`
+	InUseBytes int64 `json:"in_use_bytes"`
+	PeakBytes  int64 `json:"peak_bytes"`
+	HeldBytes  int64 `json:"held_bytes"`
+}
+
+// Snapshot reads the counters.
+func (s *ArenaStats) Snapshot() ArenaStatsSnapshot {
+	return ArenaStatsSnapshot{
+		Gets:       s.Gets.Load(),
+		Hits:       s.Hits.Load(),
+		Misses:     s.Misses.Load(),
+		Puts:       s.Puts.Load(),
+		AllocBytes: s.AllocBytes.Load(),
+		InUseBytes: s.InUseBytes.Load(),
+		PeakBytes:  s.PeakBytes.Load(),
+		HeldBytes:  s.HeldBytes.Load(),
+	}
+}
+
+// Arena is a size-classed recycler of float32 buffers: Get rounds the
+// request up to a power-of-two class and reuses a previously Put buffer of
+// at least that capacity when one is parked, so a steady stream of
+// identical inference runs converges to zero fresh heap allocation for
+// intermediate tensors.
+//
+// An Arena is safe for concurrent use — the lane goroutines of one plan
+// execution allocate and release through the same arena — but it is
+// designed to be owned by one run at a time and kept alive across runs
+// (e.g. per serving worker, via sync.Pool). It never shrinks on its own;
+// dropping the whole Arena releases everything to the GC.
+type Arena struct {
+	mu sync.Mutex
+	// free[c] parks buffers with cap in [2^c, 2^(c+1)) — floor bucketing on
+	// Put, ceiling lookup on Get, so every reused buffer fits.
+	free [numClasses][][]float32
+	// held mirrors this arena's contribution to stats.HeldBytes (guarded
+	// by mu), so a collected arena can withdraw it — see the finalizer in
+	// NewArenaWithStats.
+	held int64
+
+	stats *ArenaStats
+}
+
+// NewArena creates an arena with its own stats block.
+func NewArena() *Arena { return NewArenaWithStats(nil) }
+
+// NewArenaWithStats creates an arena reporting into a shared stats block
+// (nil allocates a private one). Serving runtimes pass one block to every
+// worker arena so /v1/stats aggregates them.
+func NewArenaWithStats(st *ArenaStats) *Arena {
+	if st == nil {
+		st = &ArenaStats{}
+	}
+	a := &Arena{stats: st}
+	// Pooled arenas are dropped whole under GC pressure (sync.Pool
+	// semantics). Their parked buffers must leave the shared HeldBytes
+	// gauge with them, or a long-running server's metric ratchets upward
+	// past what is actually parked. By finalization time nothing else
+	// references the arena, so reading held without mu is safe.
+	runtime.SetFinalizer(a, func(a *Arena) { a.stats.HeldBytes.Add(-a.held) })
+	return a
+}
+
+// Stats returns the arena's stats block (possibly shared).
+func (a *Arena) Stats() *ArenaStats { return a.stats }
+
+// classFor returns the ceiling class c such that 2^c >= n.
+func classFor(n int) int { return bits.Len(uint(n - 1)) }
+
+// Get implements Allocator: a zeroed slice of len n, recycled when a
+// parked buffer of sufficient capacity exists.
+func (a *Arena) Get(n int) []float32 { return a.get(n, true) }
+
+// GetUninit is Get without the zero fill, for callers that overwrite the
+// whole buffer immediately (the copy constructors: CloneIn, FromSliceIn,
+// FullIn). Contents of a recycled buffer are arbitrary.
+func (a *Arena) GetUninit(n int) []float32 { return a.get(n, false) }
+
+func (a *Arena) get(n int, zero bool) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	a.stats.Gets.Add(1)
+	c := classFor(n)
+	if c >= numClasses {
+		// Beyond the class table (> 2^32 elements): no class rounding, an
+		// exact-size heap buffer with normal in-use accounting (Put floor-
+		// buckets it into the top class, so the books stay balanced).
+		a.stats.Misses.Add(1)
+		buf := make([]float32, n)
+		a.stats.AllocBytes.Add(4 * int64(cap(buf)))
+		in := a.stats.InUseBytes.Add(4 * int64(cap(buf)))
+		a.stats.notePeak(in)
+		return buf
+	}
+	var buf []float32
+	a.mu.Lock()
+	// Exact class first; one class up as a fallback keeps mixed Put
+	// capacities (floor-bucketed foreign buffers) usable without scanning
+	// the whole table.
+	for cc := c; cc < numClasses && cc <= c+1; cc++ {
+		if l := len(a.free[cc]); l > 0 {
+			buf = a.free[cc][l-1]
+			a.free[cc][l-1] = nil
+			a.free[cc] = a.free[cc][:l-1]
+			a.held -= 4 * int64(cap(buf))
+			break
+		}
+	}
+	a.mu.Unlock()
+	if buf != nil {
+		a.stats.Hits.Add(1)
+		a.stats.HeldBytes.Add(-4 * int64(cap(buf)))
+		buf = buf[:n]
+		if zero {
+			clear(buf)
+		}
+	} else {
+		a.stats.Misses.Add(1)
+		buf = make([]float32, n, 1<<c) // make zeroes; no clear needed
+		a.stats.AllocBytes.Add(4 * int64(cap(buf)))
+	}
+	in := a.stats.InUseBytes.Add(4 * int64(cap(buf)))
+	a.stats.notePeak(in)
+	return buf
+}
+
+// Put implements Allocator: parks buf for reuse. The buffer must not be
+// read or written by the caller afterwards.
+func (a *Arena) Put(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	// Floor bucketing: a buffer in free[c] always has cap >= 2^c. Oversize
+	// buffers (beyond the class table) are not poolable — let the GC have
+	// them rather than index out of range.
+	c := bits.Len(uint(cap(buf))) - 1
+	if c >= numClasses {
+		return
+	}
+	a.stats.Puts.Add(1)
+	a.stats.InUseBytes.Add(-4 * int64(cap(buf)))
+	a.stats.HeldBytes.Add(4 * int64(cap(buf)))
+	a.mu.Lock()
+	a.free[c] = append(a.free[c], buf[:0])
+	a.held += 4 * int64(cap(buf))
+	a.mu.Unlock()
+}
+
+// NoteEscape removes a Get-obtained buffer from the in-use accounting
+// without parking it: the caller is handing it to an external owner (a
+// graph output escaping to the client), so it stops being part of the
+// arena's working set and ages out as ordinary heap memory. The buffer
+// must not be Put afterwards. Without this, a long-running server's
+// in-use/peak gauges would ratchet up by every escaped output forever.
+func (a *Arena) NoteEscape(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.stats.InUseBytes.Add(-4 * int64(cap(buf)))
+}
+
+// Held reports the number of buffers currently parked across all classes.
+func (a *Arena) Held() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, l := range a.free {
+		n += len(l)
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestArenaGetZeroedAndSized(t *testing.T) {
+	a := NewArena()
+	b := a.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want 128 (next power of two)", cap(b))
+	}
+	for i := range b {
+		b[i] = float32(i)
+	}
+	a.Put(b)
+	c := a.Get(90)
+	if len(c) != 90 {
+		t.Fatalf("len = %d, want 90", len(c))
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	st := a.Stats().Snapshot()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want gets 2, hits 1, misses 1, puts 1", st)
+	}
+}
+
+func TestArenaClassSeparation(t *testing.T) {
+	a := NewArena()
+	small := a.Get(8)
+	a.Put(small)
+	// A much larger request must not receive the small buffer.
+	big := a.Get(4096)
+	if cap(big) < 4096 {
+		t.Fatalf("cap = %d, want >= 4096", cap(big))
+	}
+	if a.Held() != 1 {
+		t.Fatalf("held = %d, want the small buffer still parked", a.Held())
+	}
+}
+
+func TestArenaForeignBufferJoinsPool(t *testing.T) {
+	a := NewArena()
+	// cap 100 floors into class 6 (64); a Get of 64 may reuse it.
+	a.Put(make([]float32, 100))
+	b := a.Get(64)
+	if cap(b) < 64 {
+		t.Fatalf("cap = %d, want >= 64", cap(b))
+	}
+	if got := a.Stats().Hits.Load(); got != 1 {
+		t.Fatalf("hits = %d, want reuse of the foreign buffer", got)
+	}
+}
+
+func TestArenaZeroAndNegativeSizes(t *testing.T) {
+	a := NewArena()
+	if b := a.Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+	if b := a.Get(-3); b != nil {
+		t.Fatalf("Get(-3) = %v, want nil", b)
+	}
+	a.Put(nil) // must not panic or count
+	if st := a.Stats().Snapshot(); st.Gets != 0 || st.Puts != 0 {
+		t.Fatalf("zero-size traffic counted: %+v", st)
+	}
+}
+
+func TestArenaSteadyStateStopsAllocating(t *testing.T) {
+	a := NewArena()
+	sizes := []int{100, 256, 31, 4096, 100}
+	round := func() {
+		bufs := make([][]float32, len(sizes))
+		for i, n := range sizes {
+			bufs[i] = a.Get(n)
+		}
+		for _, b := range bufs {
+			a.Put(b)
+		}
+	}
+	round()
+	missesAfterWarm := a.Stats().Misses.Load()
+	for i := 0; i < 50; i++ {
+		round()
+	}
+	if got := a.Stats().Misses.Load(); got != missesAfterWarm {
+		t.Fatalf("misses grew %d -> %d in steady state", missesAfterWarm, got)
+	}
+	st := a.Stats().Snapshot()
+	if st.InUseBytes != 0 {
+		t.Fatalf("in-use bytes = %d after all Puts, want 0", st.InUseBytes)
+	}
+	if st.PeakBytes <= 0 {
+		t.Fatalf("peak bytes = %d, want > 0", st.PeakBytes)
+	}
+}
+
+func TestArenaCollectionWithdrawsHeldBytes(t *testing.T) {
+	shared := &ArenaStats{}
+	func() {
+		a := NewArenaWithStats(shared)
+		a.Put(a.Get(1000)) // park one buffer: held bytes counted
+	}()
+	if got := shared.HeldBytes.Load(); got <= 0 {
+		t.Fatalf("held = %d before collection, want > 0", got)
+	}
+	// The arena is unreachable; its finalizer must withdraw the parked
+	// bytes from the shared gauge. Two GC cycles: one to queue the
+	// finalizer, one to observe its effect.
+	for i := 0; i < 10 && shared.HeldBytes.Load() != 0; i++ {
+		runtime.GC()
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := shared.HeldBytes.Load(); got != 0 {
+		t.Fatalf("held = %d after arena collection, want 0 (gauge ratchets)", got)
+	}
+}
+
+func TestArenaNoteEscape(t *testing.T) {
+	a := NewArena()
+	b := a.Get(100)
+	if got := a.Stats().InUseBytes.Load(); got != 4*128 {
+		t.Fatalf("in-use = %d after Get, want %d", got, 4*128)
+	}
+	a.NoteEscape(b)
+	if got := a.Stats().InUseBytes.Load(); got != 0 {
+		t.Fatalf("in-use = %d after escape, want 0", got)
+	}
+	if got := a.Stats().PeakBytes.Load(); got != 4*128 {
+		t.Fatalf("peak = %d, want the pre-escape high-water %d", got, 4*128)
+	}
+	if a.Held() != 0 {
+		t.Fatal("escaped buffer must not join the free lists")
+	}
+	a.NoteEscape(nil) // no-op
+}
+
+func TestArenaSharedStats(t *testing.T) {
+	shared := &ArenaStats{}
+	a1 := NewArenaWithStats(shared)
+	a2 := NewArenaWithStats(shared)
+	a1.Put(a1.Get(10))
+	a2.Put(a2.Get(10))
+	if got := shared.Gets.Load(); got != 2 {
+		t.Fatalf("shared gets = %d, want 2", got)
+	}
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 + (seed*31+i*7)%500
+				b := a.Get(n)
+				if len(b) != n {
+					t.Errorf("len = %d, want %d", len(b), n)
+					return
+				}
+				b[0] = 1
+				a.Put(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats().Snapshot()
+	if st.Gets != 1600 || st.Puts != 1600 {
+		t.Fatalf("stats = %+v, want 1600 gets/puts", st)
+	}
+}
+
+func TestAllocatorConstructors(t *testing.T) {
+	a := NewArena()
+	z := ZerosIn(a, 2, 3)
+	if z.Numel() != 6 || z.Sum() != 0 {
+		t.Fatalf("ZerosIn = %v", z)
+	}
+	f := FullIn(a, 2.5, 4)
+	if f.Sum() != 10 {
+		t.Fatalf("FullIn sum = %v, want 10", f.Sum())
+	}
+	s := FromSliceIn(a, []float32{1, 2, 3})
+	if s.Sum() != 6 {
+		t.Fatalf("FromSliceIn sum = %v", s.Sum())
+	}
+	c := s.CloneIn(a)
+	c.Data()[0] = 9
+	if s.Data()[0] != 1 {
+		t.Fatal("CloneIn shares storage with source")
+	}
+	zl := ZerosLikeIn(a, f)
+	if !zl.Shape().Equal(f.Shape()) || zl.Sum() != 0 {
+		t.Fatalf("ZerosLikeIn = %v", zl)
+	}
+	// Nil-allocator variants must behave identically.
+	if ZerosIn(nil, 2).Numel() != 2 || FromSliceIn(nil, []float32{1}).Numel() != 1 {
+		t.Fatal("nil-allocator constructors broken")
+	}
+	ReleaseData(a, z)
+	ReleaseData(nil, f) // no-op
+	ReleaseData(a, nil) // no-op
+	if a.Stats().Puts.Load() != 1 {
+		t.Fatalf("puts = %d, want exactly the one ReleaseData", a.Stats().Puts.Load())
+	}
+}

@@ -23,24 +23,13 @@ func New(shape Shape, data []float32) *Tensor {
 }
 
 // Zeros allocates a zero-filled tensor of the given shape.
-func Zeros(dims ...int) *Tensor {
-	s := NewShape(dims...)
-	return &Tensor{shape: s, data: make([]float32, s.Numel())}
-}
+func Zeros(dims ...int) *Tensor { return ZerosIn(nil, dims...) }
 
 // ZerosLike allocates a zero-filled tensor with t's shape.
-func ZerosLike(t *Tensor) *Tensor {
-	return &Tensor{shape: t.shape.Clone(), data: make([]float32, len(t.data))}
-}
+func ZerosLike(t *Tensor) *Tensor { return ZerosLikeIn(nil, t) }
 
 // Full allocates a tensor of the given shape with every element set to v.
-func Full(v float32, dims ...int) *Tensor {
-	t := Zeros(dims...)
-	for i := range t.data {
-		t.data[i] = v
-	}
-	return t
-}
+func Full(v float32, dims ...int) *Tensor { return FullIn(nil, v, dims...) }
 
 // Scalar returns a rank-0 tensor holding v.
 func Scalar(v float32) *Tensor {
@@ -48,11 +37,7 @@ func Scalar(v float32) *Tensor {
 }
 
 // FromSlice builds a rank-1 tensor copying vals.
-func FromSlice(vals []float32) *Tensor {
-	d := make([]float32, len(vals))
-	copy(d, vals)
-	return &Tensor{shape: Shape{len(vals)}, data: d}
-}
+func FromSlice(vals []float32) *Tensor { return FromSliceIn(nil, vals) }
 
 // Shape returns the tensor's shape. Callers must not mutate it.
 func (t *Tensor) Shape() Shape { return t.shape }
@@ -95,11 +80,7 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // Clone returns a deep copy of the tensor.
-func (t *Tensor) Clone() *Tensor {
-	d := make([]float32, len(t.data))
-	copy(d, t.data)
-	return &Tensor{shape: t.shape.Clone(), data: d}
-}
+func (t *Tensor) Clone() *Tensor { return t.CloneIn(nil) }
 
 // Reshape returns a view-like tensor sharing t's data with a new shape.
 // One dimension may be -1, in which case it is inferred. Returns an error

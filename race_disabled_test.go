@@ -1,0 +1,5 @@
+//go:build !race
+
+package ramiel_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ramiel_test
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, where sync.Pool deliberately drops a fraction of Put items —
+// which makes per-worker arenas non-deterministic.
+const raceEnabled = true

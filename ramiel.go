@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/hyper"
+	"repro/internal/memplan"
 	"repro/internal/models"
 	"repro/internal/onnx"
 	"repro/internal/ops"
@@ -46,7 +47,16 @@ type (
 	SimResult = exec.SimResult
 	// CloneOptions bounds the task-cloning pass.
 	CloneOptions = passes.CloneOptions
+	// Arena recycles tensor storage across runs (see Program.RunArena).
+	Arena = tensor.Arena
+	// ArenaStats aggregates arena counters, shareable between arenas.
+	ArenaStats = tensor.ArenaStats
 )
+
+// NewArena creates an empty tensor arena for Program.RunArena. Keep it
+// alive across runs (it is what makes steady-state inference allocation-
+// free); do not share it between concurrent runs.
+func NewArena() *Arena { return tensor.NewArena() }
 
 // NewTensor wraps data (not copied) with the given shape.
 func NewTensor(shape Shape, data []float32) *Tensor { return tensor.New(shape, data) }
@@ -98,6 +108,10 @@ type Options struct {
 	// DisableMerge skips the cluster-merging pass (Algorithms 2-3); used
 	// by the merge ablation only.
 	DisableMerge bool
+	// EagerMemPlan builds the static memory plan (internal/memplan) during
+	// Compile instead of lazily on the first arena run, so serving pays it
+	// at warm time. CompileTime then includes it.
+	EagerMemPlan bool
 }
 
 // Program is a compiled parallel program: the (possibly optimized) graph,
@@ -160,6 +174,9 @@ func Compile(g *Graph, opts Options) (*Program, error) {
 		return nil, fmt.Errorf("ramiel: planning: %w", err)
 	}
 	p.Plan = plan
+	if opts.EagerMemPlan {
+		plan.MemoryPlan()
+	}
 	p.CompileTime = time.Since(start)
 	return p, nil
 }
@@ -169,6 +186,27 @@ func (p *Program) NumClusters() int { return len(p.Plan.Lanes) }
 
 // Run executes the program in parallel (one goroutine per cluster).
 func (p *Program) Run(feeds Env) (Env, error) { return p.Plan.Run(feeds) }
+
+// RunArena executes the program with arena-backed tensor memory: kernel
+// outputs are allocated from a, and every intermediate is recycled into a
+// the moment its last consumer finishes, per the program's static memory
+// plan (internal/memplan). Graph outputs escape to the caller and are never
+// recycled. Concurrent RunArena calls on one Program are safe as long as
+// each passes its own arena; reusing an arena across sequential runs is
+// what makes steady-state serving allocation-free for intermediates.
+func (p *Program) RunArena(feeds Env, a *Arena) (Env, error) {
+	return p.Plan.RunArena(feeds, a)
+}
+
+// RunProfiledArena is RunArena plus the per-lane busy/slack profile.
+func (p *Program) RunProfiledArena(feeds Env, a *Arena) (Env, *Profile, error) {
+	return p.Plan.RunProfiledArena(feeds, a)
+}
+
+// MemoryPlan returns the program's static memory plan: per-value liveness,
+// reuse slots, and (via Estimate with exec.ValueSizes) peak-memory
+// forecasts.
+func (p *Program) MemoryPlan() *memplan.Plan { return p.Plan.MemoryPlan() }
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 func (p *Program) RunProfiled(feeds Env) (Env, *Profile, error) {
