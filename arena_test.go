@@ -97,7 +97,7 @@ func TestConcurrentArenaRunsShareProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{EagerMemPlan: true})
+	prog, err := ramiel.Compile(g, ramiel.WithEagerMemPlan())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestMemoryPlanPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func benchCompile(b *testing.B, model string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ramiel.Compile(g, ramiel.Options{}); err != nil {
+		if _, err := ramiel.Compile(g); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func BenchmarkPruneBERT(b *testing.B) {
 	g := models.MustBuild("bert", models.Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ramiel.Compile(g, ramiel.Options{Prune: true}); err != nil {
+		if _, err := ramiel.Compile(g, ramiel.WithPrune()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +114,7 @@ func BenchmarkRunSequentialSqueezenet(b *testing.B) {
 
 func BenchmarkRunParallelSqueezenet(b *testing.B) {
 	g, _ := ramiel.BuildModel("squeezenet", ramiel.ModelConfig{ImageSize: 32})
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func BenchmarkServeCompilePerRequest(b *testing.B) {
 	feeds := ramiel.RandomInputs(g, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prog, err := ramiel.Compile(g, ramiel.Options{})
+		prog, err := ramiel.Compile(g)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,9 +57,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prog, err := ramiel.Compile(g, ramiel.Options{
-		Prune: *prune, Clone: *clone, DisableMerge: *noMerge,
-	})
+	var copts []ramiel.CompileOption
+	if *prune {
+		copts = append(copts, ramiel.WithPrune())
+	}
+	if *clone {
+		copts = append(copts, ramiel.WithClone())
+	}
+	if *noMerge {
+		copts = append(copts, ramiel.WithoutMerge())
+	}
+	prog, err := ramiel.Compile(g, copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -193,19 +202,21 @@ func printReport(prog *ramiel.Program) {
 }
 
 func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
+	ctx := context.Background()
 	feeds := ramiel.RandomInputs(prog.Graph, seed)
+	// One reusable session carries the run configuration (arena, profiling)
+	// across the warm-up and the timed run.
+	sopts := []ramiel.SessionOption{ramiel.WithProfiling()}
+	if !useArena {
+		sopts = append(sopts, ramiel.WithoutArena())
+	}
+	sess := prog.NewSession(sopts...)
 	// Warm both paths untimed so the printed speedup compares steady
 	// states: sequential vs parallel, not cold-start vs warm-arena.
 	if _, err := prog.RunSequential(feeds); err != nil {
 		return err
 	}
-	var ar *ramiel.Arena
-	if useArena {
-		ar = ramiel.NewArena()
-		if _, err := prog.RunArena(feeds, ar); err != nil {
-			return err
-		}
-	} else if _, err := prog.Run(feeds); err != nil {
+	if _, err := sess.Run(ctx, feeds); err != nil {
 		return err
 	}
 	t0 := time.Now()
@@ -215,19 +226,12 @@ func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
-	var (
-		got  ramiel.Env
-		prof *ramiel.Profile
-	)
-	if ar != nil {
-		got, prof, err = prog.RunProfiledArena(feeds, ar)
-	} else {
-		got, prof, err = prog.RunProfiled(feeds)
-	}
+	got, err := sess.Run(ctx, feeds)
 	if err != nil {
 		return err
 	}
 	par := time.Since(t0)
+	prof := sess.Profile()
 	for k, w := range want {
 		if !got[k].AllClose(w, 1e-4, 1e-5) {
 			return fmt.Errorf("output %q differs between parallel and sequential run", k)
@@ -237,7 +241,7 @@ func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
 		seq.Round(time.Microsecond), par.Round(time.Microsecond), float64(seq)/float64(par))
 	fmt.Printf("  profile: total slack %v across %d lanes\n",
 		prof.TotalSlack().Round(time.Microsecond), len(prof.Lanes))
-	if ar != nil {
+	if ar := sess.Arena(); ar != nil {
 		st := ar.Stats().Snapshot()
 		hitRate := 0.0
 		if st.Gets > 0 {

@@ -1,7 +1,11 @@
 // Command ramield is the Ramiel inference-serving daemon: it preloads zoo
 // and/or ONNX-subset models, compiles each requested (model, batch) variant
 // exactly once, and serves concurrent HTTP/JSON inference with dynamic
-// micro-batching through hyperclustered plans (Section III-E).
+// micro-batching through hyperclustered plans (Section III-E). Requests
+// execute on pooled ramiel.Sessions with warm per-session arenas, and the
+// HTTP request context propagates into the run: a client that disconnects
+// or exceeds its deadline aborts its in-flight execution instead of
+// holding a worker slot to completion.
 //
 // Examples:
 //

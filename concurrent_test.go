@@ -15,7 +15,7 @@ func TestProgramRunConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestHyperclusteredRunConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := ramiel.Compile(g, ramiel.Options{})
+	base, err := ramiel.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,16 +10,32 @@
 //	     ──► parallel execution (goroutine per cluster, channel messages)
 //	        ├─► readable generated Go code, one function per cluster
 //	        └─► serving runtime (internal/serve + cmd/ramield): compile-once
-//	            program cache, worker pool, dynamic micro-batching over HTTP
+//	            program cache, session pool, dynamic micro-batching over HTTP
 //
-// Quick start:
+// Quick start — compile once, then run through a Session:
 //
 //	g, _ := ramiel.BuildModel("squeezenet", ramiel.ModelConfig{})
-//	prog, _ := ramiel.Compile(g, ramiel.Options{Prune: true})
-//	outs, _ := prog.Run(ramiel.RandomInputs(g, 42))
+//	prog, _ := ramiel.Compile(g, ramiel.WithPrune())
+//	sess := prog.NewSession()
+//	outs, _ := sess.Run(ctx, ramiel.RandomInputs(g, 42))
 //
-// A compiled Program is safe for concurrent Run calls — the serving
-// invariant; see the Plan concurrency contract in internal/exec.
+// Compile takes functional options (WithPrune, WithClone, WithCostModel,
+// WithEagerMemPlan, WithoutMerge); CompileWithOptions accepts the same
+// configuration as an Options struct for callers that carry it as data.
+//
+// A Session bundles the run configuration — by default it owns a tensor
+// arena that recycles intermediate tensors across its runs (steady-state
+// inference allocates nothing per run), and WithProfiling records each
+// run's per-lane busy/slack profile (Session.Profile). Session.Run
+// validates feeds up front (Program.ValidateFeeds) and honors its context:
+// cancellation and deadlines abort an in-flight run cooperatively between
+// operator kernels, with no goroutine leaks and the arena left reusable.
+//
+// A Session serves one goroutine; the compiled Program underneath is safe
+// to share — any number of Sessions may run it concurrently (the serving
+// invariant; see the Plan concurrency contract in internal/exec). The old
+// run-method matrix (Program.Run, RunArena, RunProfiled, RunProfiledArena)
+// remains as deprecated one-shot-session wrappers.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the system inventory, serving-layer architecture, ramield

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,11 @@ func main() {
 	}
 	fmt.Printf("bert: %d nodes (12 transformer layers with exporter constant chains)\n", len(g.Nodes))
 
-	plain, err := ramiel.Compile(g, ramiel.Options{})
+	plain, err := ramiel.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pruned, err := ramiel.Compile(g, ramiel.Options{Prune: true})
+	pruned, err := ramiel.Compile(g, ramiel.WithPrune())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err := pruned.Run(feeds)
+	got, err := pruned.NewSession().Run(context.Background(), feeds)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				got, err := hp.Run(feeds)
+				got, err := hp.NewSession().Run(context.Background(), feeds)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,11 +20,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	plain, err := ramiel.Compile(g, ramiel.Options{})
+	plain, err := ramiel.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cloned, err := ramiel.Compile(g, ramiel.Options{Clone: true})
+	cloned, err := ramiel.Compile(g, ramiel.WithClone())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err := cloned.Run(feeds)
+	got, err := cloned.NewSession().Run(context.Background(), feeds)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,7 +22,7 @@ func main() {
 
 	// 2. Compile: distance pass → recursive critical-path linear
 	//    clustering → iterative cluster merging.
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,8 +33,11 @@ func main() {
 	}
 	fmt.Printf("potential parallelism: %.2fx (paper reports 0.86x for Squeezenet)\n", met.Parallelism)
 
-	// 3. Execute: one goroutine per cluster, channels carry cross-cluster
-	//    tensors; verify against the sequential reference.
+	// 3. Execute through a Session: one goroutine per cluster, channels
+	//    carry cross-cluster tensors; the session owns a tensor arena that
+	//    recycles intermediates across its runs and records a per-lane
+	//    profile. Verify against the sequential reference.
+	sess := prog.NewSession(ramiel.WithProfiling())
 	feeds := ramiel.RandomInputs(g, 42)
 	t0 := time.Now()
 	want, err := prog.RunSequential(feeds)
@@ -42,11 +46,12 @@ func main() {
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
-	got, prof, err := prog.RunProfiled(feeds)
+	got, err := sess.Run(context.Background(), feeds)
 	if err != nil {
 		log.Fatal(err)
 	}
 	par := time.Since(t0)
+	prof := sess.Profile()
 	for name, w := range want {
 		if !got[name].AllClose(w, 1e-4, 1e-5) {
 			log.Fatalf("output %q differs between parallel and sequential run", name)

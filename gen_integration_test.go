@@ -24,7 +24,7 @@ func TestGeneratedCodeCompilesAndRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,19 +79,19 @@ func (h *harness) model(name string) (*modelCtx, error) {
 	}
 	c := &modelCtx{name: name, g: g, feeds: ramiel.RandomInputs(g, 1)}
 
-	if c.lc, err = ramiel.Compile(g, ramiel.Options{}); err != nil {
+	if c.lc, err = ramiel.Compile(g); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.lcNoMrg, err = ramiel.Compile(g, ramiel.Options{DisableMerge: true}); err != nil {
+	if c.lcNoMrg, err = ramiel.Compile(g, ramiel.WithoutMerge()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.pruned, err = ramiel.Compile(g, ramiel.Options{Prune: true}); err != nil {
+	if c.pruned, err = ramiel.Compile(g, ramiel.WithPrune()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.cloned, err = ramiel.Compile(g, ramiel.Options{Clone: true}); err != nil {
+	if c.cloned, err = ramiel.Compile(g, ramiel.WithClone()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.best, err = ramiel.Compile(g, ramiel.Options{Prune: true, Clone: true}); err != nil {
+	if c.best, err = ramiel.Compile(g, ramiel.WithPrune(), ramiel.WithClone()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 

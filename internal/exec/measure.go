@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,6 +84,14 @@ func (m *MeasuredModel) TotalMicros() float64 {
 // paper's Python process queues cost far more, so 3µs is conservative in
 // Ramiel's favor being the faster runtime).
 func MeasureCosts(g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*MeasuredModel, error) {
+	return MeasureCostsCtx(context.Background(), g, feeds, reps, edgeMicros)
+}
+
+// MeasureCostsCtx is MeasureCosts under a context: a measurement sweep over
+// a large model is many full sequential executions, so interactive callers
+// (or a serving daemon profiling in the background) can abort it between
+// kernels. Cancellation surfaces as the bare ctx error.
+func MeasureCostsCtx(ctx context.Context, g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*MeasuredModel, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -98,6 +107,9 @@ func MeasureCosts(g *graph.Graph, feeds Env, reps int, edgeMicros float64) (*Mea
 			return nil, err
 		}
 		for _, n := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			t0 := time.Now()
 			if err := evalNode(g, n, env, nil); err != nil {
 				return nil, fmt.Errorf("exec: measuring %s: %w", n.Name, err)

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -16,9 +18,10 @@ import (
 // order. It is produced from a core.Clustering but typed on plain node
 // slices so this package stays independent of the clustering package.
 //
-// Concurrency contract: once built, a Plan is immutable and Run/RunProfiled
-// may be called from any number of goroutines simultaneously on the same
-// Plan — the serving invariant (compile once, serve many). All routing
+// Concurrency contract: once built, a Plan is immutable and Execute (and
+// its Run/RunProfiled wrappers) may be called from any number of goroutines
+// simultaneously on the same Plan — the serving invariant (compile once,
+// serve many). All routing
 // state shared between runs (lane membership, channel keys, per-node
 // send/receive schedules) is computed once and only read afterwards; each
 // run allocates its own channels and value environments. Mutating Graph,
@@ -359,9 +362,9 @@ func insertionSortByPos(ns []*graph.Node, pos map[*graph.Node]int) {
 //
 // Run is safe for concurrent use: many goroutines may Run the same Plan at
 // once, each call with its own channels and environments (see the Plan
-// concurrency contract).
+// concurrency contract). Cancellation-aware callers should use Execute.
 func (p *Plan) Run(feeds Env) (Env, error) {
-	out, _, err := p.runProfiled(feeds, nil)
+	out, _, err := p.Execute(context.Background(), feeds, nil)
 	return out, err
 }
 
@@ -378,22 +381,43 @@ func (p *Plan) Run(feeds Env) (Env, error) {
 // sequential runs is exactly what makes steady-state inference allocation-
 // free for intermediates.
 func (p *Plan) RunArena(feeds Env, ar *tensor.Arena) (Env, error) {
-	out, _, err := p.runProfiled(feeds, ar)
+	out, _, err := p.Execute(context.Background(), feeds, ar)
 	return out, err
 }
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 func (p *Plan) RunProfiled(feeds Env) (Env, *Profile, error) {
-	return p.runProfiled(feeds, nil)
+	return p.Execute(context.Background(), feeds, nil)
 }
 
 // RunProfiledArena is RunArena plus the per-lane busy/slack profile.
 func (p *Plan) RunProfiledArena(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
-	return p.runProfiled(feeds, ar)
+	return p.Execute(context.Background(), feeds, ar)
 }
 
-func (p *Plan) runProfiled(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
+// Execute is the plan's core entry point: one parallel run under ctx, with
+// optional arena-backed tensor memory (nil ar = heap) and the per-lane
+// busy/slack profile. All other run methods are thin wrappers over it.
+//
+// Cancellation is cooperative: lanes observe ctx between operator kernels
+// and while blocked on cross-lane receives, so a cancelled or deadline-
+// expired run unwinds within one kernel's duration. The unwind is clean —
+// every lane goroutine exits before Execute returns (no leaks), and the
+// arena stays consistent: buffers are only ever recycled after their global
+// reference count reaches zero, so nothing still reachable is released and
+// the arena is immediately reusable by the next run. Tensors that were in
+// flight when the run aborted are simply dropped to the garbage collector.
+// On cancellation the returned error is ctx.Err() (context.Canceled or
+// context.DeadlineExceeded), unwrapped, so callers can errors.Is it.
+func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	done := ctx.Done()
 	base, err := seedEnv(p.Graph, feeds)
 	if err != nil {
 		return nil, nil, err
@@ -452,6 +476,16 @@ func (p *Plan) runProfiled(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
 			// Lane-local environment: shared read-only base + local values.
 			env := make(Env, len(lane)*2)
 			for _, n := range lane {
+				// Observe cancellation between ops: one non-blocking poll per
+				// node, so an aborted run stops within a kernel's duration.
+				if done != nil {
+					select {
+					case <-done:
+						fail(li, ctx.Err())
+						return
+					default:
+					}
+				}
 				// Bind base values and receive remote inputs not yet local.
 				for _, src := range topo.ins[n] {
 					if _, ok := env[src.name]; ok {
@@ -475,6 +509,9 @@ func (p *Plan) runProfiled(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
 						stats.Recvs++
 						env[msg.value] = msg.t
 					case <-abort:
+						return
+					case <-done: // nil (blocks forever) without a cancelable ctx
+						fail(li, ctx.Err())
 						return
 					}
 				}
@@ -512,10 +549,32 @@ func (p *Plan) runProfiled(feeds Env, ar *tensor.Arena) (Env, *Profile, error) {
 		}(li, lane)
 	}
 	wg.Wait()
+	// Kernel failures outrank cancellation: a lane that died for a real
+	// reason is the root cause even if the caller also gave up waiting.
+	// Pure cancellations surface as the bare ctx error.
+	var runErr error
 	for li, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("exec: lane %d failed: %w", li, err)
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if runErr == nil {
+				runErr = err
+			}
+		default:
+			runErr = fmt.Errorf("exec: lane %d failed: %w", li, err)
 		}
+		if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+			break
+		}
+	}
+	if runErr != nil {
+		// The unwound run abandons its in-flight tensors to the GC; take
+		// their bytes out of the arena's in-use accounting so the gauge
+		// reflects reality. Safe here: every lane has exited.
+		if ar != nil {
+			ar.AbandonOutstanding()
+		}
+		return nil, nil, runErr
 	}
 
 	final := make(Env, len(p.Graph.Outputs))

@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +24,14 @@ type Env map[string]*tensor.Tensor
 // reference for the parallel executor and the baseline for every speedup
 // the paper reports.
 func RunSequential(g *graph.Graph, feeds Env) (Env, error) {
-	env, err := runAllSequential(g, feeds)
+	return RunSequentialCtx(context.Background(), g, feeds)
+}
+
+// RunSequentialCtx is RunSequential under a context: cancellation is
+// observed between operator kernels, mirroring the parallel executor's
+// cooperative unwind, and surfaces as the bare ctx error.
+func RunSequentialCtx(ctx context.Context, g *graph.Graph, feeds Env) (Env, error) {
+	env, err := runAllSequential(ctx, g, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +40,7 @@ func RunSequential(g *graph.Graph, feeds Env) (Env, error) {
 
 // runAllSequential executes every node in topological order and returns
 // the full value environment.
-func runAllSequential(g *graph.Graph, feeds Env) (Env, error) {
+func runAllSequential(ctx context.Context, g *graph.Graph, feeds Env) (Env, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -42,6 +50,9 @@ func runAllSequential(g *graph.Graph, feeds Env) (Env, error) {
 		return nil, err
 	}
 	for _, n := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := evalNode(g, n, env, nil); err != nil {
 			return nil, err
 		}
@@ -54,7 +65,7 @@ func runAllSequential(g *graph.Graph, feeds Env) (Env, error) {
 // in this IR, so one reference execution is how the memory planner's peak
 // estimates (memplan.Plan.Estimate) get their sizes.
 func ValueSizes(g *graph.Graph, feeds Env) (map[string]int, error) {
-	env, err := runAllSequential(g, feeds)
+	env, err := runAllSequential(context.Background(), g, feeds)
 	if err != nil {
 		return nil, err
 	}

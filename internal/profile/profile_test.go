@@ -16,7 +16,7 @@ func squeezeTrace(t *testing.T) *Trace {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := ramiel.Compile(g, ramiel.Options{})
+	prog, err := ramiel.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}

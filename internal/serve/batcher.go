@@ -39,7 +39,7 @@ type batcher struct {
 	model      string
 	reg        *Registry
 	pool       *Pool
-	arenas     *arenaSource // nil = heap execution
+	sessions   *sessionSource
 	maxBatch   int
 	flushAfter time.Duration
 	deadline   time.Duration
@@ -58,12 +58,12 @@ type batcher struct {
 	inflight sync.WaitGroup
 }
 
-func newBatcher(model string, reg *Registry, pool *Pool, arenas *arenaSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
+func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
 	return &batcher{
 		model:      model,
 		reg:        reg,
 		pool:       pool,
-		arenas:     arenas,
+		sessions:   sessions,
 		maxBatch:   maxBatch,
 		flushAfter: flushAfter,
 		deadline:   deadline,
@@ -131,7 +131,11 @@ func (b *batcher) flushLocked() {
 }
 
 // runBatch executes one coalesced window through the worker pool and
-// scatters the outputs back to the member requests.
+// scatters the outputs back to the member requests. The batch runs under
+// its own deadline context (a batch outlives any single member's context —
+// one member giving up must not abort its companions), and the deadline
+// now aborts the run itself: lanes observe the expiry mid-flight instead
+// of computing a doomed batch to completion.
 func (b *batcher) runBatch(jobs []*inferJob) {
 	n := len(jobs)
 	b.stats.noteBatch(n)
@@ -153,7 +157,9 @@ func (b *batcher) runBatch(jobs []*inferJob) {
 		}
 		feeds = merged
 	}
-	outs, err := b.pool.Do(ctx, func() (ramiel.Env, error) { return b.arenas.run(prog, feeds) })
+	outs, err := b.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
+		return b.sessions.run(runCtx, prog, feeds)
+	})
 	if err != nil {
 		b.failAll(jobs, err)
 		return

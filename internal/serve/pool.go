@@ -18,11 +18,12 @@ type taskResult struct {
 	err  error
 }
 
-// task is one unit of work: run fn and deliver the result. res is buffered
-// so an abandoned (deadline-exceeded) submitter never blocks a worker.
+// task is one unit of work: run fn under the submitter's context and
+// deliver the result. res is buffered so an abandoned (deadline-exceeded)
+// submitter never blocks a worker.
 type task struct {
 	ctx context.Context
-	fn  func() (ramiel.Env, error)
+	fn  func(context.Context) (ramiel.Env, error)
 	res chan taskResult
 }
 
@@ -91,14 +92,16 @@ func (p *Pool) worker() {
 
 func (p *Pool) run(t *task) {
 	p.queued.Add(-1)
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Skip work whose submitter already gave up.
-	if t.ctx != nil {
-		select {
-		case <-t.ctx.Done():
-			t.res <- taskResult{err: t.ctx.Err()}
-			return
-		default:
-		}
+	select {
+	case <-ctx.Done():
+		t.res <- taskResult{err: ctx.Err()}
+		return
+	default:
 	}
 	n := p.inflight.Add(1)
 	for {
@@ -107,18 +110,19 @@ func (p *Pool) run(t *task) {
 			break
 		}
 	}
-	outs, err := t.fn()
+	outs, err := t.fn(ctx)
 	p.inflight.Add(-1)
 	t.res <- taskResult{outs: outs, err: err}
 }
 
-// Do runs fn on a pool worker and returns its result. It blocks while the
-// backlog is full (backpressure), honors ctx for both queueing and waiting,
-// and fails fast with ErrShutdown once Close has begun. When ctx expires
-// while fn is already running, Do returns the ctx error immediately and the
-// worker finishes the run in the background (plan executions are not
-// cancellable mid-flight).
-func (p *Pool) Do(ctx context.Context, fn func() (ramiel.Env, error)) (ramiel.Env, error) {
+// Do runs fn on a pool worker, passing it ctx, and returns its result. It
+// blocks while the backlog is full (backpressure), honors ctx for queueing
+// and waiting, and fails fast with ErrShutdown once Close has begun. When
+// ctx expires while fn is already running, Do returns the ctx error
+// immediately and the cancellation propagates into fn — session runs
+// observe it between kernels, so the worker slot frees within one kernel's
+// duration instead of computing the abandoned request to completion.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context) (ramiel.Env, error)) (ramiel.Env, error) {
 	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
 	p.closeMu.RLock()
 	if p.closed {

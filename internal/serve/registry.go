@@ -1,9 +1,11 @@
 // Package serve is the concurrent inference-serving runtime on top of the
 // Ramiel compiler: a model registry with a compile-once program cache
 // (including hyperclustered variants per batch size), a bounded worker pool
-// executing cached plans, and a dynamic micro-batcher that coalesces
-// single-sample requests into hyperclustered batch runs (Section III-E).
-// The ramield daemon (cmd/ramield) exposes it over HTTP/JSON.
+// executing cached plans through pooled ramiel.Sessions (warm arenas,
+// request-context cancellation of in-flight runs), and a dynamic
+// micro-batcher that coalesces single-sample requests into hyperclustered
+// batch runs (Section III-E). The ramield daemon (cmd/ramield) exposes it
+// over HTTP/JSON.
 //
 // The design point is the paper's: compilation is fast but not free, so a
 // serving system compiles each (model, batch, options) combination exactly
@@ -272,7 +274,7 @@ func (r *Registry) compile(model string, batch int) (*ramiel.Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := ramiel.Compile(g, r.opts)
+		prog, err := ramiel.CompileWithOptions(g, r.opts)
 		if err != nil {
 			return nil, fmt.Errorf("serve: compiling %q: %w", model, err)
 		}

@@ -30,9 +30,10 @@ type Config struct {
 	Switched bool
 	// Deadline is the default per-request deadline (default 30s).
 	Deadline time.Duration
-	// NoArena disables arena-backed execution; the default (false) keeps a
-	// tensor arena per worker, recycled across requests, so steady-state
-	// inference performs no per-request intermediate-tensor allocation.
+	// NoArena disables arena-backed execution; the default (false) pools
+	// warm ramiel.Sessions per program, each owning a tensor arena recycled
+	// across requests, so steady-state inference performs no per-request
+	// intermediate-tensor allocation.
 	NoArena bool
 	// Compile sets the Ramiel pipeline options used for every model.
 	Compile ramiel.Options
@@ -68,10 +69,10 @@ type InferMeta struct {
 // Server is the serving runtime: registry + pool + per-model batchers.
 // All methods are safe for concurrent use.
 type Server struct {
-	cfg    Config
-	reg    *Registry
-	pool   *Pool
-	arenas *arenaSource // nil when Config.NoArena
+	cfg      Config
+	reg      *Registry
+	pool     *Pool
+	sessions *sessionSource // pooled per-program execution sessions
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -93,20 +94,18 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.Compile, cfg.Switched),
 		pool:     NewPool(cfg.Workers, cfg.Backlog),
+		sessions: newSessionSource(!cfg.NoArena),
 		batchers: map[string]*batcher{},
 		stats:    map[string]*ModelStats{},
 		start:    time.Now(),
 	}
-	if !cfg.NoArena {
-		s.arenas = newArenaSource()
-	}
 	return s
 }
 
-// ArenaStats reads the aggregate arena counters across all worker arenas;
-// ok is false when the arena is disabled.
+// ArenaStats reads the aggregate arena counters across all pooled session
+// arenas; ok is false when the arena is disabled.
 func (s *Server) ArenaStats() (snap tensor.ArenaStatsSnapshot, ok bool) {
-	return s.arenas.snapshot()
+	return s.sessions.snapshot()
 }
 
 // Registry exposes the server's model registry for registration and
@@ -167,7 +166,7 @@ func (s *Server) batcher(model string) *batcher {
 	}
 	b, ok := s.batchers[model]
 	if !ok {
-		b = newBatcher(model, s.reg, s.pool, s.arenas, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
+		b = newBatcher(model, s.reg, s.pool, s.sessions, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
 			s.statsLocked(model))
 		s.batchers[model] = b
 	}
@@ -177,8 +176,10 @@ func (s *Server) batcher(model string) *batcher {
 // Infer serves one single-sample request: feeds keyed by the model's
 // declared input names. When batching is enabled (MaxBatch > 1) and
 // noBatch is false, the request may be coalesced with concurrent ones into
-// a hyperclustered batch run. ctx bounds the wait; with no deadline set,
-// the server default applies.
+// a hyperclustered batch run. ctx bounds the wait and, on the unbatched
+// path, propagates into the run itself: a cancelled or timed-out request
+// aborts its in-flight session run instead of computing to completion.
+// With no deadline set, the server default applies.
 func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, InferMeta, error) {
 	start := time.Now()
 	// Reject unknown models before touching per-model state: junk traffic
@@ -220,7 +221,9 @@ func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, n
 	if err != nil {
 		return nil, 0, err
 	}
-	outs, err := s.pool.Do(ctx, func() (ramiel.Env, error) { return s.arenas.run(prog, feeds) })
+	outs, err := s.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
+		return s.sessions.run(runCtx, prog, feeds)
+	})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	ramiel "repro"
+	"repro/internal/tensor"
+)
+
+// sessionSource keeps warm ramiel.Sessions alive across requests, one
+// sync.Pool of sessions per compiled program variant. A request borrows a
+// session for the duration of its run, so a session (and the arena it
+// owns) is never shared by two concurrent runs — the single-goroutine
+// Session contract — yet its arena free lists survive from request to
+// request, which is what turns steady-state serving's per-request
+// intermediate tensors into free-list reuse instead of GC garbage. Under
+// memory pressure the GC empties the sync.Pools and the sessions (with
+// their held buffers) are simply collected.
+//
+// The request context is handed straight into Session.Run, so a client
+// that gives up (HTTP disconnect, deadline) aborts its in-flight run
+// cooperatively instead of wasting the worker slot; the aborted session's
+// arena stays consistent and the session goes back into the pool.
+//
+// When the server runs arena-less (Config.NoArena) the pooled sessions are
+// created WithoutArena — same borrowing discipline, plain heap execution.
+// All session arenas report into one shared stats block so /v1/stats shows
+// aggregate hit/miss/peak numbers for the whole server.
+type sessionSource struct {
+	arena bool
+	stats tensor.ArenaStats
+	// pools maps *ramiel.Program to its *sync.Pool of *ramiel.Session.
+	// Entries live as long as the registry's program cache keeps the
+	// program reachable, so growth is bounded by (model, batch) variants.
+	pools sync.Map
+}
+
+func newSessionSource(arena bool) *sessionSource {
+	return &sessionSource{arena: arena}
+}
+
+// poolFor returns (creating on first use) the session pool for a program.
+func (s *sessionSource) poolFor(prog *ramiel.Program) *sync.Pool {
+	if p, ok := s.pools.Load(prog); ok {
+		return p.(*sync.Pool)
+	}
+	p := &sync.Pool{New: func() any {
+		if s.arena {
+			return prog.NewSession(ramiel.WithArena(tensor.NewArenaWithStats(&s.stats)))
+		}
+		return prog.NewSession(ramiel.WithoutArena())
+	}}
+	actual, _ := s.pools.LoadOrStore(prog, p)
+	return actual.(*sync.Pool)
+}
+
+// run executes the program with a borrowed session under ctx.
+func (s *sessionSource) run(ctx context.Context, prog *ramiel.Program, feeds ramiel.Env) (ramiel.Env, error) {
+	pool := s.poolFor(prog)
+	sess := pool.Get().(*ramiel.Session)
+	defer pool.Put(sess)
+	return sess.Run(ctx, feeds)
+}
+
+// snapshot reads the aggregate arena counters; ok is false when the server
+// runs arena-less.
+func (s *sessionSource) snapshot() (tensor.ArenaStatsSnapshot, bool) {
+	if s == nil || !s.arena {
+		return tensor.ArenaStatsSnapshot{}, false
+	}
+	return s.stats.Snapshot(), true
+}

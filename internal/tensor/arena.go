@@ -89,6 +89,11 @@ type Arena struct {
 	// by mu), so a collected arena can withdraw it — see the finalizer in
 	// NewArenaWithStats.
 	held int64
+	// out mirrors this arena's contribution to stats.InUseBytes (bytes
+	// handed out, not yet Put or NoteEscape'd; atomic because one run's
+	// lanes Get/Put concurrently), so an aborted run can withdraw what it
+	// abandoned — see AbandonOutstanding.
+	out atomic.Int64
 
 	stats *ArenaStats
 }
@@ -141,6 +146,7 @@ func (a *Arena) get(n int, zero bool) []float32 {
 		a.stats.Misses.Add(1)
 		buf := make([]float32, n)
 		a.stats.AllocBytes.Add(4 * int64(cap(buf)))
+		a.out.Add(4 * int64(cap(buf)))
 		in := a.stats.InUseBytes.Add(4 * int64(cap(buf)))
 		a.stats.notePeak(in)
 		return buf
@@ -172,6 +178,7 @@ func (a *Arena) get(n int, zero bool) []float32 {
 		buf = make([]float32, n, 1<<c) // make zeroes; no clear needed
 		a.stats.AllocBytes.Add(4 * int64(cap(buf)))
 	}
+	a.out.Add(4 * int64(cap(buf)))
 	in := a.stats.InUseBytes.Add(4 * int64(cap(buf)))
 	a.stats.notePeak(in)
 	return buf
@@ -191,6 +198,7 @@ func (a *Arena) Put(buf []float32) {
 		return
 	}
 	a.stats.Puts.Add(1)
+	a.out.Add(-4 * int64(cap(buf)))
 	a.stats.InUseBytes.Add(-4 * int64(cap(buf)))
 	a.stats.HeldBytes.Add(4 * int64(cap(buf)))
 	a.mu.Lock()
@@ -209,7 +217,20 @@ func (a *Arena) NoteEscape(buf []float32) {
 	if cap(buf) == 0 {
 		return
 	}
+	a.out.Add(-4 * int64(cap(buf)))
 	a.stats.InUseBytes.Add(-4 * int64(cap(buf)))
+}
+
+// AbandonOutstanding reconciles the books after a failed or cancelled run:
+// every buffer this arena handed out that was neither Put back nor
+// NoteEscape'd is being dropped to the garbage collector by the unwound
+// run, so its bytes leave the shared InUseBytes gauge with it. Without
+// this, a serving runtime's in-use metric would ratchet upward with every
+// aborted request while real memory did not. Call it only between runs
+// (the arena's single-owner windows), after the aborted run's lanes have
+// all exited.
+func (a *Arena) AbandonOutstanding() {
+	a.stats.InUseBytes.Add(-a.out.Swap(0))
 }
 
 // Held reports the number of buffers currently parked across all classes.

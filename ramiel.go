@@ -1,6 +1,7 @@
 package ramiel
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -94,7 +95,11 @@ func DefaultCostModel() CostModel { return cost.DefaultModel() }
 // experiments (Table V).
 func SetIntraOpThreads(n int) { tensor.SetIntraOpThreads(n) }
 
-// Options configures Compile.
+// Options is the struct form of the compile configuration, consumed by
+// CompileWithOptions. It exists for callers that carry the configuration as
+// data (the serving registry fingerprints it into program-cache keys); code
+// configuring a compile in place should use Compile with functional options
+// (WithPrune, WithClone, WithCostModel, WithEagerMemPlan, WithoutMerge).
 type Options struct {
 	// CostModel defaults to DefaultCostModel().
 	CostModel CostModel
@@ -129,10 +134,11 @@ type Program struct {
 	CloneReport passes.CloneReport
 }
 
-// Compile runs the Ramiel pipeline on a copy of g: optional pruning and
-// cloning, the distance pass, recursive critical-path linear clustering and
-// iterative cluster merging, finishing with an executable plan.
-func Compile(g *Graph, opts Options) (*Program, error) {
+// compile is the pipeline shared by Compile (functional options) and
+// CompileWithOptions (struct form): optional pruning and cloning, the
+// distance pass, recursive critical-path linear clustering and iterative
+// cluster merging, finishing with an executable plan.
+func compile(g *Graph, opts Options) (*Program, error) {
 	start := time.Now()
 	if opts.CostModel == nil {
 		opts.CostModel = cost.DefaultModel()
@@ -184,8 +190,21 @@ func Compile(g *Graph, opts Options) (*Program, error) {
 // NumClusters returns the plan's lane count.
 func (p *Program) NumClusters() int { return len(p.Plan.Lanes) }
 
-// Run executes the program in parallel (one goroutine per cluster).
-func (p *Program) Run(feeds Env) (Env, error) { return p.Plan.Run(feeds) }
+// Run executes the program in parallel (one goroutine per cluster) on the
+// plain heap path, with no cancellation.
+//
+// Deprecated: use a Session — p.NewSession(WithoutArena()) followed by
+// Session.Run(ctx, feeds) — which adds context cancellation and up-front
+// feed validation. Run remains as a thin one-shot-session wrapper and is
+// output-equivalent; it stays safe for concurrent calls on one Program
+// (each call runs its own throwaway session). One behavior tightening
+// rides along: like Session.Run, the wrappers now validate feeds up front
+// (Program.ValidateFeeds), so feeds with unknown names — previously
+// silently ignored — are rejected with a clear error, matching the HTTP
+// serving layer's long-standing contract.
+func (p *Program) Run(feeds Env) (Env, error) {
+	return p.NewSession(WithoutArena()).Run(context.Background(), feeds)
+}
 
 // RunArena executes the program with arena-backed tensor memory: kernel
 // outputs are allocated from a, and every intermediate is recycled into a
@@ -194,13 +213,21 @@ func (p *Program) Run(feeds Env) (Env, error) { return p.Plan.Run(feeds) }
 // recycled. Concurrent RunArena calls on one Program are safe as long as
 // each passes its own arena; reusing an arena across sequential runs is
 // what makes steady-state serving allocation-free for intermediates.
+//
+// Deprecated: use a Session — p.NewSession(WithArena(a)) or the default
+// session-owned arena — and Session.Run(ctx, feeds).
 func (p *Program) RunArena(feeds Env, a *Arena) (Env, error) {
-	return p.Plan.RunArena(feeds, a)
+	return p.NewSession(WithArena(a)).Run(context.Background(), feeds)
 }
 
 // RunProfiledArena is RunArena plus the per-lane busy/slack profile.
+//
+// Deprecated: use a Session with WithArena(a) and WithProfiling, then
+// Session.Profile after Session.Run.
 func (p *Program) RunProfiledArena(feeds Env, a *Arena) (Env, *Profile, error) {
-	return p.Plan.RunProfiledArena(feeds, a)
+	s := p.NewSession(WithArena(a), WithProfiling())
+	out, err := s.Run(context.Background(), feeds)
+	return out, s.Profile(), err
 }
 
 // MemoryPlan returns the program's static memory plan: per-value liveness,
@@ -209,8 +236,13 @@ func (p *Program) RunProfiledArena(feeds Env, a *Arena) (Env, *Profile, error) {
 func (p *Program) MemoryPlan() *memplan.Plan { return p.Plan.MemoryPlan() }
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
+//
+// Deprecated: use a Session with WithoutArena and WithProfiling, then
+// Session.Profile after Session.Run.
 func (p *Program) RunProfiled(feeds Env) (Env, *Profile, error) {
-	return p.Plan.RunProfiled(feeds)
+	s := p.NewSession(WithoutArena(), WithProfiling())
+	out, err := s.Run(context.Background(), feeds)
+	return out, s.Profile(), err
 }
 
 // RunSequential executes the program's graph on one goroutine — the

@@ -11,7 +11,7 @@ func TestCompileAndRunSqueezenet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Compile(g, Options{})
+	prog, err := Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestCompileAndRunSqueezenet(t *testing.T) {
 func TestCompilePipelineVariants(t *testing.T) {
 	g, _ := BuildModel("yolo_v5", ModelConfig{})
 	feeds := RandomInputs(g, 1)
-	base, err := Compile(g, Options{})
+	base, err := Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestCompilePipelineVariants(t *testing.T) {
 		{Prune: true, Clone: true},
 		{DisableMerge: true},
 	} {
-		prog, err := Compile(g, opts)
+		prog, err := CompileWithOptions(g, opts)
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
@@ -72,14 +72,14 @@ func TestCompilePipelineVariants(t *testing.T) {
 
 func TestPruneReportOnConstantModels(t *testing.T) {
 	g, _ := BuildModel("bert", ModelConfig{})
-	prog, err := Compile(g, Options{Prune: true})
+	prog, err := Compile(g, WithPrune())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if prog.PruneReport.Fold.Folded == 0 {
 		t.Error("BERT pruning folded nothing")
 	}
-	base, _ := Compile(g, Options{})
+	base, _ := Compile(g)
 	if prog.NumClusters() >= base.NumClusters() {
 		t.Errorf("pruning did not reduce clusters: %d vs %d (Table III shape)",
 			prog.NumClusters(), base.NumClusters())
@@ -88,8 +88,8 @@ func TestPruneReportOnConstantModels(t *testing.T) {
 
 func TestDisableMergeAblation(t *testing.T) {
 	g, _ := BuildModel("googlenet", ModelConfig{ImageSize: 16})
-	merged, _ := Compile(g, Options{})
-	unmerged, _ := Compile(g, Options{DisableMerge: true})
+	merged, _ := Compile(g)
+	unmerged, _ := Compile(g, WithoutMerge())
 	if unmerged.NumClusters() <= merged.NumClusters() {
 		t.Errorf("merge ablation: unmerged %d <= merged %d",
 			unmerged.NumClusters(), merged.NumClusters())
@@ -98,7 +98,7 @@ func TestDisableMergeAblation(t *testing.T) {
 
 func TestMetricsAndSimulate(t *testing.T) {
 	g, _ := BuildModel("nasnet", ModelConfig{ImageSize: 16})
-	prog, err := Compile(g, Options{})
+	prog, err := Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMetricsAndSimulate(t *testing.T) {
 
 func TestHyperclusterEndToEnd(t *testing.T) {
 	g, _ := BuildModel("squeezenet", ModelConfig{ImageSize: 16})
-	prog, _ := Compile(g, Options{})
+	prog, _ := Compile(g)
 	for _, switched := range []bool{false, true} {
 		hp, err := prog.Hypercluster(3, switched)
 		if err != nil {
@@ -218,7 +218,7 @@ func TestSyntheticEnvRunsGeneratedStyle(t *testing.T) {
 
 func TestGenerateGoFromFacade(t *testing.T) {
 	g, _ := BuildModel("squeezenet", ModelConfig{ImageSize: 16})
-	prog, _ := Compile(g, Options{})
+	prog, _ := Compile(g)
 	src, err := prog.GenerateGo(CodegenOptions{EmitMain: true})
 	if err != nil {
 		t.Fatal(err)
