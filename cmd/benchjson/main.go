@@ -1,0 +1,76 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON array (stdout), one object per benchmark result with its metrics
+// keyed by unit. CI uses it to emit per-PR benchmark artifacts (e.g.
+// BENCH_kernels.json) so the perf trajectory of the kernel core is tracked
+// machine-readably instead of scraped from logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x ./internal/kernels/ | benchjson > BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line, e.g.
+// "BenchmarkGEMM  610  4017203 ns/op  66.82 GFLOPS".
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		out []result
+		pkg string
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... [no tests to run]"
+		}
+		r := result{Name: fields[0], Package: pkg, Iterations: iters,
+			Metrics: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -187,9 +187,17 @@ func printReport(prog *ramiel.Program) {
 		ms := mp.Summary()
 		fmt.Printf("  memory plan: %d managed values -> %d reuse slots (%d pinned outputs, %d dead)\n",
 			ms.Managed, ms.Slots, ms.Pinned, ms.ZeroUse)
-		est := mp.Estimate(mm.ValueNumel)
+		est := mp.EstimateWithScratch(mm.ValueNumel, mm.ScratchNumel)
 		fmt.Printf("  memory estimate: peak live %s, slot arena %s, unreused total %s\n",
 			fmtBytes(est.PeakLiveBytes), fmtBytes(est.SlotBytes), fmtBytes(est.TotalBytes))
+		if est.ScratchBytes > 0 {
+			fmt.Printf("  kernel scratch: up to %s per lane (im2col + GEMM packing)\n",
+				fmtBytes(est.ScratchBytes))
+		}
+	}
+	if nodes, bytes := prog.PrepackedWeights(); nodes > 0 {
+		fmt.Printf("  prepacked weights: %d nodes, %s packed at compile time\n",
+			nodes, fmtBytes(bytes))
 	}
 
 	mm.PaperEquivalentQueues()

@@ -59,7 +59,7 @@ func TestExecuteCancelledBeforeStart(t *testing.T) {
 // natural completion, every lane goroutine exits, and the arena it ran
 // with is consistent and immediately reusable.
 func TestExecuteCancelMidRun(t *testing.T) {
-	plan, feeds := heavyChain(t, 80, 96)
+	plan, feeds := heavyChain(t, 120, 256)
 	want, err := RunSequential(plan.Graph, feeds)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestExecuteCancelMidRun(t *testing.T) {
 // TestExecuteDeadlineExpiresMidRun: deadline expiry surfaces as
 // context.DeadlineExceeded through the same cooperative unwind.
 func TestExecuteDeadlineExpiresMidRun(t *testing.T) {
-	plan, feeds := heavyChain(t, 80, 96)
+	plan, feeds := heavyChain(t, 120, 256)
 	for attempt := 0; attempt < 25; attempt++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
 		_, _, err := plan.Execute(ctx, feeds, nil)

@@ -6,8 +6,9 @@ import (
 	"time"
 
 	"repro/internal/cost"
-
 	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
 )
 
 // MeasuredModel is a cost.Model whose node costs are real measured kernel
@@ -38,6 +39,11 @@ type MeasuredModel struct {
 	// recorded during measurement — the sizes input the memory planner's
 	// Estimate wants, at no extra execution.
 	ValueNumel map[string]int
+	// ScratchNumel maps node names to the transient kernel scratch (im2col
+	// patch matrices, call-time GEMM packing) the node draws from the
+	// run's allocator, in elements — the memory planner's scratch-sizing
+	// input (memplan.Plan.EstimateWithScratch).
+	ScratchNumel map[string]int
 	// Default covers nodes not measured (e.g. clones added after
 	// measurement): microseconds.
 	Default float64
@@ -101,6 +107,7 @@ func MeasureCostsCtx(ctx context.Context, g *graph.Graph, feeds Env, reps int, e
 	}
 	acc := make(map[string]float64, len(order))
 	numel := make(map[string]int, len(order))
+	scratch := make(map[string]int)
 	for r := 0; r < reps; r++ {
 		env, err := seedEnv(g, feeds)
 		if err != nil {
@@ -110,8 +117,13 @@ func MeasureCostsCtx(ctx context.Context, g *graph.Graph, feeds Env, reps int, e
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if r == 0 {
+				if s := nodeScratch(n, env); s > 0 {
+					scratch[n.Name] = s
+				}
+			}
 			t0 := time.Now()
-			if err := evalNode(g, n, env, nil); err != nil {
+			if err := evalNode(g, n, env, nil, nil); err != nil {
 				return nil, fmt.Errorf("exec: measuring %s: %w", n.Name, err)
 			}
 			acc[n.Name] += float64(time.Since(t0)) / float64(time.Microsecond)
@@ -151,7 +163,21 @@ func MeasureCostsCtx(ctx context.Context, g *graph.Graph, feeds Env, reps int, e
 	if len(byName) > 0 {
 		def = sum / float64(len(byName))
 	}
-	return &MeasuredModel{ByName: byName, Edge: edgeMicros, OutBytes: outBytes, ValueNumel: numel, Default: def}, nil
+	return &MeasuredModel{ByName: byName, Edge: edgeMicros, OutBytes: outBytes,
+		ValueNumel: numel, ScratchNumel: scratch, Default: def}, nil
+}
+
+// nodeScratch sizes one node's kernel scratch from its bound inputs.
+func nodeScratch(n *graph.Node, env Env) int {
+	in := make([]*tensor.Tensor, len(n.Inputs))
+	for i, name := range n.Inputs {
+		t, ok := env[name]
+		if !ok {
+			return 0
+		}
+		in[i] = t
+	}
+	return ops.ScratchElems(n.OpType, n.Attrs, in)
 }
 
 // PaperEquivalentQueues configures m to model the paper's Python

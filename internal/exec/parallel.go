@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/memplan"
+	"repro/internal/ops"
 	"repro/internal/tensor"
 )
 
@@ -45,6 +46,12 @@ type Plan struct {
 	// once like topo and consulted only by arena-backed runs.
 	memOnce sync.Once
 	mem     *memState
+
+	// pack is the compile-time-packed constant-weight table (ops.Prepacked
+	// per GEMM-shaped node with constant operands), built once like topo;
+	// every run reuses the same packed panels.
+	packOnce sync.Once
+	pack     map[*graph.Node]*ops.Prepacked
 }
 
 // chanKey identifies one cross-lane channel: a produced value and the lane
@@ -207,6 +214,77 @@ func (p *Plan) MemoryPlan() *memplan.Plan {
 		return m.plan
 	}
 	return nil
+}
+
+// packKey identifies one distinct packing: the weight tensor plus the
+// attributes that shape its packed layout. Hyperclustered graphs
+// replicate every GEMM/Conv node per sample while sharing the weight
+// initializers, so memoizing on this key keeps one packed copy per
+// weight instead of one per replica.
+type packKey struct {
+	op     string
+	weight *tensor.Tensor
+	transB bool
+	groups int
+}
+
+// prepacked returns the plan's constant-weight packing table, building it
+// on first use: every GEMM-shaped node whose weight operand is a graph
+// initializer gets its panels packed once, here, so no run ever repacks
+// them. Names that are also declared graph inputs are skipped — a feed
+// could override the initializer value there.
+func (p *Plan) prepacked() map[*graph.Node]*ops.Prepacked {
+	p.packOnce.Do(func() {
+		tbl := map[*graph.Node]*ops.Prepacked{}
+		shared := map[packKey]*ops.Prepacked{}
+		for _, n := range p.Graph.Nodes {
+			constIn := make([]*tensor.Tensor, len(n.Inputs))
+			any := false
+			for i, name := range n.Inputs {
+				if t := p.Graph.Initializers[name]; t != nil && !p.Graph.IsGraphInput(name) {
+					constIn[i] = t
+					any = true
+				}
+			}
+			if !any || len(constIn) < 2 || constIn[1] == nil {
+				continue
+			}
+			key := packKey{
+				op:     n.OpType,
+				weight: constIn[1],
+				transB: n.Attrs.Int("transB", 0) != 0,
+				groups: n.Attrs.Int("group", 1),
+			}
+			if pp, seen := shared[key]; seen {
+				if pp != nil {
+					tbl[n] = pp
+				}
+				continue
+			}
+			pp := ops.PrepackWeights(n.OpType, n.Attrs, constIn)
+			shared[key] = pp
+			if pp != nil {
+				tbl[n] = pp
+			}
+		}
+		p.pack = tbl
+	})
+	return p.pack
+}
+
+// PrepackWeights builds the plan's compile-time weight packing (idempotent;
+// Compile calls it eagerly so Session.Run never pays it) and reports how
+// many nodes got packed operands and their total packed bytes.
+func (p *Plan) PrepackWeights() (nodes int, bytes int64) {
+	tbl := p.prepacked()
+	seen := make(map[*ops.Prepacked]bool, len(tbl))
+	for _, pp := range tbl {
+		if !seen[pp] {
+			seen[pp] = true
+			bytes += pp.Bytes() // replicas share one packing; count it once
+		}
+	}
+	return len(tbl), bytes
 }
 
 // message is one cross-cluster tensor transfer.
@@ -423,6 +501,7 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 		return nil, nil, err
 	}
 	topo := p.topology()
+	pack := p.prepacked()
 	depth := p.ChanDepth
 	if depth < 1 {
 		depth = 1
@@ -516,7 +595,7 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 					}
 				}
 				busyStart := time.Now()
-				if err := evalNode(p.Graph, n, env, alloc); err != nil {
+				if err := evalNode(p.Graph, n, env, alloc, pack[n]); err != nil {
 					fail(li, err)
 					return
 				}

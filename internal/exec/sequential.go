@@ -53,7 +53,7 @@ func runAllSequential(ctx context.Context, g *graph.Graph, feeds Env) (Env, erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := evalNode(g, n, env, nil); err != nil {
+		if err := evalNode(g, n, env, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -101,12 +101,10 @@ func seedEnv(g *graph.Graph, feeds Env) (Env, error) {
 
 // evalNode runs one node's kernel against env, storing its outputs. The
 // allocator (nil = heap) reaches every kernel output allocation, so an
-// arena-backed run recycles intermediate storage.
-func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator) error {
-	kernel, err := ops.LookupAlloc(n.OpType)
-	if err != nil {
-		return fmt.Errorf("exec: node %s: %w", n.Name, err)
-	}
+// arena-backed run recycles intermediate storage. pp carries the node's
+// compile-time-packed constant weights (plan runs); nil means the ordinary
+// registry kernel, which packs at call time and computes identical values.
+func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator, pp *ops.Prepacked) error {
 	inputs := make([]*tensor.Tensor, len(n.Inputs))
 	for i, name := range n.Inputs {
 		t, ok := env[name]
@@ -115,7 +113,17 @@ func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator) error 
 		}
 		inputs[i] = t
 	}
-	outs, err := kernel(inputs, n.Attrs, a)
+	var outs []*tensor.Tensor
+	var err error
+	if pp != nil {
+		outs, err = ops.RunPrepacked(n.OpType, inputs, n.Attrs, a, pp)
+	} else {
+		kernel, kerr := ops.LookupAlloc(n.OpType)
+		if kerr != nil {
+			return fmt.Errorf("exec: node %s: %w", n.Name, kerr)
+		}
+		outs, err = kernel(inputs, n.Attrs, a)
+	}
 	if err != nil {
 		return fmt.Errorf("exec: node %s: %w", n.Name, err)
 	}

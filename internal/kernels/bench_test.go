@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkGEMM is the PR's headline kernel benchmark: 512×512×512 f32
+// with a compile-time-packed B (the serving shape: constant weights),
+// reported in GFLOPS. Compare against BenchmarkGEMMNaive, the pre-kernel-
+// core implementation.
+func BenchmarkGEMM(b *testing.B) {
+	const m, n, k = 512, 512, 512
+	r := tensor.NewRNG(2)
+	a := r.RandTensor(m, k)
+	bm := r.RandTensor(k, n)
+	pb := PrepackB(bm.Data(), k, n, n, false)
+	c := make([]float32, m*n)
+	ar := tensor.NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(c)
+		GemmPackedB(1, m, a.Data(), k, false, pb, c, ar)
+	}
+	reportGFLOPS(b, m, n, k)
+}
+
+// BenchmarkGEMMCallTimePack includes both packings in the timed loop —
+// the cost a non-constant operand pays.
+func BenchmarkGEMMCallTimePack(b *testing.B) {
+	const m, n, k = 512, 512, 512
+	r := tensor.NewRNG(2)
+	a := r.RandTensor(m, k)
+	bm := r.RandTensor(k, n)
+	c := make([]float32, m*n)
+	ar := tensor.NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(c)
+		Gemm(1, m, n, k, a.Data(), k, false, bm.Data(), n, false, c, ar)
+	}
+	reportGFLOPS(b, m, n, k)
+}
+
+// BenchmarkGEMMNaive is the pre-PR kernel shape: the unblocked ikj loop.
+func BenchmarkGEMMNaive(b *testing.B) {
+	const m, n, k = 512, 512, 512
+	r := tensor.NewRNG(2)
+	a := r.RandTensor(m, k)
+	bm := r.RandTensor(k, n)
+	c := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(c)
+		NaiveGemm(1, m, n, k, a.Data(), k, false, bm.Data(), n, false, c)
+	}
+	reportGFLOPS(b, m, n, k)
+}
+
+func reportGFLOPS(b *testing.B, m, n, k int) {
+	b.Helper()
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

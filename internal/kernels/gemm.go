@@ -1,0 +1,157 @@
+package kernels
+
+import "repro/internal/tensor"
+
+// Gemm computes C += alpha·op(A)·op(B) for row-major f32 matrices, packing
+// both operands at call time into scratch drawn from alc (nil = heap; the
+// executor passes the run's arena so steady-state serving recycles the
+// scratch). op(A) is m×k stored with leading dimension lda, transposed
+// when transA; op(B) is k×n with ldb/transB; C is m×n with leading
+// dimension n and must be initialized (outputs are zero-filled by the
+// tensor constructors, so += realizes a plain product).
+func Gemm(alpha float32, m, n, k int, a []float32, lda int, transA bool, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	bbuf := tensor.AllocUninit(alc, PackedBSize(k, n))
+	PackBInto(bbuf, b, k, n, ldb, transB)
+	GemmBPacked(alpha, m, n, k, a, lda, transA, bbuf, c, alc)
+	tensor.Free(alc, bbuf)
+}
+
+// GemmBPacked is Gemm with the right operand already in packed layout
+// (PackBInto order) — either compile-time prepacked weights or a
+// caller-owned scratch packing reused across several products (batched
+// MatMul broadcasting one B).
+func GemmBPacked(alpha float32, m, n, k int, a []float32, lda int, transA bool, bpacked []float32, c []float32, alc tensor.Allocator) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	abuf := tensor.AllocUninit(alc, PackedASize(m, k))
+	// Fold alpha into the A packing: the microkernel then needs no scale.
+	packAInto(abuf, a, m, k, lda, transA, alpha)
+	gemmCore(m, n, k, abuf, bpacked, c)
+	tensor.Free(alc, abuf)
+}
+
+// GemmPackedB is GemmBPacked against a compile-time PackedB.
+func GemmPackedB(alpha float32, m int, a []float32, lda int, transA bool, pb *PackedB, c []float32, alc tensor.Allocator) {
+	GemmBPacked(alpha, m, pb.N, pb.K, a, lda, transA, pb.buf, c, alc)
+}
+
+// GemmPackedA computes C += pa·op(B) against a compile-time PackedA (Conv
+// filters), packing only the call-varying right operand (the im2col patch
+// matrix) into scratch from alc.
+func GemmPackedA(pa *PackedA, n int, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator) {
+	if pa.M <= 0 || n <= 0 || pa.K <= 0 {
+		return
+	}
+	bbuf := tensor.AllocUninit(alc, PackedBSize(pa.K, n))
+	PackBInto(bbuf, b, pa.K, n, ldb, transB)
+	gemmCore(pa.M, n, pa.K, pa.buf, bbuf, c)
+	tensor.Free(alc, bbuf)
+}
+
+// gemmCore is the blocked macrokernel: both operands packed, C += Aᵖ·Bᵖ.
+//
+// Loop structure (GotoBLAS/BLIS, outermost first): C's columns are walked
+// in NC blocks (the per-block packed-B working set, NC×KC×4 B, stays
+// L3-resident); within a block the K dimension is walked in KC panels,
+// accumulating into C so panels compose — each C element still sums in
+// plain k order, so results are independent of the blocking; within a
+// panel, row strips are distributed across intra-op workers in MC-row
+// chunks (each worker's A sub-panel stays L2-resident), and each worker
+// keeps one NR-wide B strip L1-resident while it sweeps the chunk's row
+// strips. Edge tiles run the same microkernel into a scratch tile and
+// mask the writeback, so the hot path has no bounds branches.
+func gemmCore(m, n, k int, apacked, bpacked []float32, c []float32) {
+	mStrips := (m + MR - 1) / MR
+	nStrips := (n + NR - 1) / NR
+	mPad := mStrips * MR
+	nPad := nStrips * NR
+	// Single-worker runs (the serving default: one lane per core, intra-op
+	// parallelism off) call the panel kernel directly — no closure is
+	// created, keeping steady-state inference allocation-flat.
+	serial := tensor.IntraOpThreads() == 1 || mStrips <= MC/MR
+	for jc := 0; jc < nStrips; jc += NC / NR {
+		// Read-only rebind: capturing the written loop variable itself
+		// would box it on the heap every iteration (see the alloc-free
+		// hot-path contract pinned by TestHotPathAllocFree).
+		jcLo, jcHi := jc, minInt(jc+NC/NR, nStrips)
+		for p0 := 0; p0 < k; p0 += KC {
+			kc := minInt(KC, k-p0)
+			ap := apacked[mPad*p0:]
+			bp := bpacked[nPad*p0:]
+			if serial {
+				gemmPanel(m, n, kc, ap, bp, c, 0, mStrips, jcLo, jcHi)
+			} else {
+				tensor.ParallelRange(mStrips, MC/MR, func(lo, hi int) {
+					gemmPanel(m, n, kc, ap, bp, c, lo, hi, jcLo, jcHi)
+				})
+			}
+		}
+	}
+}
+
+// gemmPanel runs one KC panel's macrokernel over the row strips
+// [loStrip, hiStrip) and the column strips [loJ, hiJ) (one NC block),
+// holding each NR-wide B strip L1-resident while it sweeps the rows.
+func gemmPanel(m, n, kc int, apacked, bpacked, c []float32, loStrip, hiStrip, loJ, hiJ int) {
+	// Edge tiles compute into this stack tile and mask the writeback. It
+	// must not escape — microKernel is a direct-dispatch call chain whose
+	// pointer parameters provably don't leak (see micro.go), so taking
+	// &tmp[0] is free of heap traffic.
+	var tmp [MR * NR]float32
+	for jr := loJ; jr < hiJ; jr++ {
+		bs := bpacked[jr*NR*kc:]
+		j0 := jr * NR
+		cols := minInt(NR, n-j0)
+		for ir := loStrip; ir < hiStrip; ir++ {
+			as := apacked[ir*MR*kc:]
+			i0 := ir * MR
+			rows := minInt(MR, m-i0)
+			if rows == MR && cols == NR {
+				microKernel(kc, &as[0], &bs[0], &c[i0*n+j0], n)
+				continue
+			}
+			clear(tmp[:])
+			microKernel(kc, &as[0], &bs[0], &tmp[0], NR)
+			for i := 0; i < rows; i++ {
+				cr := c[(i0+i)*n+j0 : (i0+i)*n+j0+cols]
+				tr := tmp[i*NR : i*NR+cols]
+				for j, v := range tr {
+					cr[j] += v
+				}
+			}
+		}
+	}
+}
+
+// NaiveGemm is the retained reference implementation: an unblocked ikj
+// product with no data-dependent branches. It anchors the equivalence
+// tests and the kernel benchmarks' baseline; nothing on a hot path calls
+// it.
+func NaiveGemm(alpha float32, m, n, k int, a []float32, lda int, transA bool, b []float32, ldb int, transB bool, c []float32) {
+	for i := 0; i < m; i++ {
+		row := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			var av float32
+			if transA {
+				av = a[p*lda+i]
+			} else {
+				av = a[i*lda+p]
+			}
+			av *= alpha
+			if transB {
+				for j := 0; j < n; j++ {
+					row[j] += av * b[j*ldb+p]
+				}
+			} else {
+				bp := b[p*ldb : p*ldb+n]
+				for j, bv := range bp {
+					row[j] += av * bv
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package kernels
+
+import "repro/internal/tensor"
+
+// Im2colRows returns the row count (GEMM K) of the patch matrix for a
+// group of c input channels under a kh×kw kernel.
+func Im2colRows(c, kh, kw int) int { return c * kh * kw }
+
+// Im2col expands one image group — c channels of an h×w plane, stored
+// contiguously — into the K×N patch matrix that turns convolution into
+// GEMM: K = c*kh*kw, N = oh*ow, and
+//
+//	col[(ci*kh+ky)*kw+kx][oy*ow+ox] = x[ci][oy*sh-pt+ky][ox*sw-pl+kx]
+//
+// with zeros outside the input (padding). Rows are built in parallel via
+// tensor.ParallelRange; the stride-1 fast path turns each output row into
+// one copy plus zeroed pad fringes. col must have K*N elements and may be
+// uninitialized scratch — every element is written.
+func Im2col(col, x []float32, c, h, w, kh, kw, sh, sw, pt, pl, oh, ow int) {
+	rows := c * kh * kw
+	// Single-worker runs build the rows inline — no closure allocation on
+	// the steady-state serving path (see gemmCore).
+	if tensor.IntraOpThreads() == 1 || rows <= kh*kw {
+		im2colRows(col, x, h, w, kh, kw, sh, sw, pt, pl, oh, ow, 0, rows)
+		return
+	}
+	tensor.ParallelRange(rows, kh*kw, func(rLo, rHi int) {
+		im2colRows(col, x, h, w, kh, kw, sh, sw, pt, pl, oh, ow, rLo, rHi)
+	})
+}
+
+// im2colRows materializes patch-matrix rows [rLo, rHi).
+func im2colRows(col, x []float32, h, w, kh, kw, sh, sw, pt, pl, oh, ow, rLo, rHi int) {
+	n := oh * ow
+	plane := h * w
+	for r := rLo; r < rHi; r++ {
+		ci := r / (kh * kw)
+		ky := r / kw % kh
+		kx := r % kw
+		dst := col[r*n : r*n+n]
+		src := x[ci*plane : ci*plane+plane]
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*sh - pt + ky
+			drow := dst[oy*ow : oy*ow+ow]
+			if iy < 0 || iy >= h {
+				clear(drow)
+				continue
+			}
+			srow := src[iy*w : iy*w+w]
+			if sw == 1 {
+				// Valid ox range: 0 <= ox - pl + kx < w, clamped to
+				// [0, ow) and possibly empty (all-pad rows).
+				lo := pl - kx
+				if lo < 0 {
+					lo = 0
+				} else if lo > ow {
+					lo = ow
+				}
+				hi := w + pl - kx
+				if hi > ow {
+					hi = ow
+				}
+				if hi < lo {
+					hi = lo
+				}
+				clear(drow[:lo])
+				if hi > lo {
+					copy(drow[lo:hi], srow[lo-pl+kx:])
+				}
+				clear(drow[hi:])
+			} else {
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*sw - pl + kx
+					if ix < 0 || ix >= w {
+						drow[ox] = 0
+					} else {
+						drow[ox] = srow[ix]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package kernels
+
+import "unsafe"
+
+// The microkernel contract (microKernel, defined per platform in
+// micro_amd64.go / micro_noasm.go): compute one MR×NR tile,
+// C[0:MR, 0:NR] += Aᵖ·Bᵖ, where a is an MR-row strip (kc*MR elements,
+// K-major) and b an NR-column strip (kc*NR elements, K-major) of the
+// packed operands, c points at the tile's top-left element and ldc is C's
+// row stride in elements. kc must be >= 1 and the full MR×NR tile must be
+// writable — the driver routes edge tiles through a stack scratch tile and
+// masks the writeback. Dispatch is a direct call through a platform
+// function, never a func value: an indirect call would force every
+// address-taken scratch tile to the heap and break the allocation-flat
+// serving contract.
+
+// microGo is the portable microkernel: the accumulator tile lives in a
+// fixed-size array the compiler keeps in registers where it can, and every
+// inner loop runs over re-sliced views so bounds checks hoist out. Its
+// pointer parameters must not leak (and do not — see TestHotPathAllocFree)
+// so callers' scratch tiles stay on the stack.
+func microGo(kc int, a, b, c *float32, ldc int) {
+	as := unsafe.Slice(a, kc*MR)
+	bs := unsafe.Slice(b, kc*NR)
+	var acc [MR * NR]float32
+	for p := 0; p < kc; p++ {
+		ap := as[p*MR : p*MR+MR]
+		bp := bs[p*NR : p*NR+NR]
+		for i, av := range ap {
+			row := acc[i*NR : i*NR+NR]
+			for j, bv := range bp {
+				row[j] += av * bv
+			}
+		}
+	}
+	cs := unsafe.Slice(c, (MR-1)*ldc+NR)
+	for i := 0; i < MR; i++ {
+		row := cs[i*ldc : i*ldc+NR]
+		t := acc[i*NR : i*NR+NR]
+		for j, v := range t {
+			row[j] += v
+		}
+	}
+}

@@ -1,0 +1,66 @@
+//go:build amd64
+
+package kernels
+
+// Runtime CPU dispatch: the assembly microkernel needs AVX2 and FMA3, and
+// the OS must have enabled YMM state (OSXSAVE + XCR0). Everything is
+// probed directly via CPUID/XGETBV so the package stays dependency-free.
+
+// useAVX2 is probed once at startup.
+var useAVX2 = hasAVX2FMA()
+
+// microKernel dispatches the MR×NR tile update (contract in micro.go).
+// Both callees are direct calls — microAVX2 is //go:noescape and microGo
+// provably leaks nothing — so a caller's scratch tile stays on its stack.
+func microKernel(kc int, a, b, c *float32, ldc int) {
+	if useAVX2 {
+		microAVX2(kc, a, b, c, ldc)
+		return
+	}
+	microGo(kc, a, b, c, ldc)
+}
+
+// MicroKernelName reports which microkernel implementation is active
+// ("avx2" or "go"), for logs and benchmark labels.
+func MicroKernelName() string {
+	if useAVX2 {
+		return "avx2"
+	}
+	return "go"
+}
+
+// microAVX2 is the hand-written 4×16 FMA microkernel (micro_amd64.s). It
+// implements the microKernel contract exactly.
+//
+//go:noescape
+func microAVX2(kc int, a, b, c *float32, ldc int)
+
+// cpuidRaw executes CPUID with the given leaf/subleaf.
+func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+func hasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, c1, _ := cpuidRaw(1, 0)
+	if c1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	// XCR0 bits 1 and 2: XMM and YMM state saved/restored by the OS.
+	xlo, _ := xgetbv0()
+	if xlo&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuidRaw(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}

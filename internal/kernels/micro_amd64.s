@@ -1,0 +1,96 @@
+#include "textflag.h"
+
+// func microAVX2(kc int, a, b, c *float32, ldc int)
+//
+// 4x16 f32 microkernel: C[0:4, 0:16] += A-strip · B-strip.
+// The A strip is K-major groups of 4 row values (a[p*4+i]); the B strip is
+// K-major groups of 16 column values (b[p*16+j]). The 4x16 accumulator
+// tile lives in Y0-Y7 (two YMM per row); per k step we load the 16 B
+// values once (Y8, Y9), broadcast each of the 4 A values and issue 8 FMAs.
+TEXT ·microAVX2(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop:
+	VMOVUPS      (DI), Y8
+	VMOVUPS      32(DI), Y9
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 4(SI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 8(SI), Y12
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VBROADCASTSS 12(SI), Y13
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+	ADDQ         $16, SI
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          loop
+
+	// Writeback: C row r += (Y2r, Y2r+1); rows are ldc*4 bytes apart.
+	SHLQ    $2, R8
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS Y0, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y1, Y1
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y2, Y2
+	VMOVUPS Y2, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y3, Y3
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y4, Y4
+	VMOVUPS Y4, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y5, Y5
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y6, Y6
+	VMOVUPS Y6, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y7, Y7
+	VMOVUPS Y7, 32(DX)
+
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package kernels
+
+// microKernel dispatches the MR×NR tile update (contract in micro.go):
+// only the portable Go kernel exists off amd64.
+func microKernel(kc int, a, b, c *float32, ldc int) {
+	microGo(kc, a, b, c, ldc)
+}
+
+// MicroKernelName reports which microkernel implementation is active.
+func MicroKernelName() string { return "go" }

@@ -1,0 +1,137 @@
+package kernels
+
+// Packed operand layouts.
+//
+// Both packings split the K dimension into KC-deep panels. Within a panel,
+// A is stored as strips of MR rows and B as strips of NR columns, each
+// strip laid out K-major: element (i, p) of an A strip lives at p*MR+i and
+// element (p, j) of a B strip at p*NR+j, exactly the streaming order the
+// microkernel consumes. Strip tails past the matrix edge are zero-filled so
+// the microkernel never branches on bounds; the driver masks the writeback
+// instead.
+
+// PackedASize returns the element count of the packed layout of an m×k
+// left operand (rows padded to a multiple of MR).
+func PackedASize(m, k int) int { return ceilMul(m, MR) * k }
+
+// PackedBSize returns the element count of the packed layout of a k×n
+// right operand (columns padded to a multiple of NR).
+func PackedBSize(k, n int) int { return k * ceilMul(n, NR) }
+
+// packAInto packs the logical m×k matrix A into dst, scaling by alpha.
+// The source is row-major with leading dimension lda and holds Aᵀ when
+// trans is set (so logical A[i,p] is a[p*lda+i]). dst needs
+// PackedASize(m, k) elements; every element, including pad lanes, is
+// written, so dst may be uninitialized scratch.
+func packAInto(dst, a []float32, m, k, lda int, trans bool, alpha float32) {
+	mPad := ceilMul(m, MR)
+	for p0 := 0; p0 < k; p0 += KC {
+		kc := minInt(KC, k-p0)
+		base := mPad * p0
+		for i0 := 0; i0 < m; i0 += MR {
+			strip := dst[base+i0*kc : base+i0*kc+MR*kc]
+			rows := minInt(MR, m-i0)
+			if trans {
+				for p := 0; p < kc; p++ {
+					src := a[(p0+p)*lda+i0 : (p0+p)*lda+i0+rows]
+					d := strip[p*MR : p*MR+MR]
+					for i, v := range src {
+						d[i] = alpha * v
+					}
+					for i := rows; i < MR; i++ {
+						d[i] = 0
+					}
+				}
+			} else {
+				for i := 0; i < rows; i++ {
+					src := a[(i0+i)*lda+p0 : (i0+i)*lda+p0+kc]
+					for p, v := range src {
+						strip[p*MR+i] = alpha * v
+					}
+				}
+				for i := rows; i < MR; i++ {
+					for p := 0; p < kc; p++ {
+						strip[p*MR+i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// PackBInto packs the logical k×n matrix B into dst. The source is
+// row-major with leading dimension ldb and holds Bᵀ when trans is set
+// (logical B[p,j] is b[j*ldb+p]). dst needs PackedBSize(k, n) elements and
+// may be uninitialized scratch. Exposed so callers that run several GEMMs
+// against one B (batched MatMul broadcasting its right operand) can pack
+// once into their own scratch.
+func PackBInto(dst, b []float32, k, n, ldb int, trans bool) {
+	nPad := ceilMul(n, NR)
+	for p0 := 0; p0 < k; p0 += KC {
+		kc := minInt(KC, k-p0)
+		base := nPad * p0
+		for j0 := 0; j0 < n; j0 += NR {
+			strip := dst[base+j0*kc : base+j0*kc+NR*kc]
+			cols := minInt(NR, n-j0)
+			if trans {
+				for j := 0; j < cols; j++ {
+					src := b[(j0+j)*ldb+p0 : (j0+j)*ldb+p0+kc]
+					for p, v := range src {
+						strip[p*NR+j] = v
+					}
+				}
+				for j := cols; j < NR; j++ {
+					for p := 0; p < kc; p++ {
+						strip[p*NR+j] = 0
+					}
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					src := b[(p0+p)*ldb+j0 : (p0+p)*ldb+j0+cols]
+					d := strip[p*NR : p*NR+NR]
+					copy(d, src)
+					for j := cols; j < NR; j++ {
+						d[j] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// PackedA is a left operand packed once — at compile time, for constant
+// weights (Conv filters) — and reused by every subsequent GEMM call. It is
+// immutable after creation and safe to share across concurrent runs.
+type PackedA struct {
+	M, K int
+	buf  []float32
+}
+
+// PrepackA packs the logical m×k matrix a (see packAInto for lda/trans)
+// into a heap-owned PackedA.
+func PrepackA(a []float32, m, k, lda int, trans bool) *PackedA {
+	buf := make([]float32, PackedASize(m, k))
+	packAInto(buf, a, m, k, lda, trans, 1)
+	return &PackedA{M: m, K: k, buf: buf}
+}
+
+// Bytes reports the packed footprint.
+func (p *PackedA) Bytes() int64 { return 4 * int64(len(p.buf)) }
+
+// PackedB is a right operand packed once at compile time (MatMul/Gemm
+// weight matrices) and shared, immutable, by every run.
+type PackedB struct {
+	K, N int
+	buf  []float32
+}
+
+// PrepackB packs the logical k×n matrix b (see PackBInto for ldb/trans)
+// into a heap-owned PackedB.
+func PrepackB(b []float32, k, n, ldb int, trans bool) *PackedB {
+	buf := make([]float32, PackedBSize(k, n))
+	PackBInto(buf, b, k, n, ldb, trans)
+	return &PackedB{K: k, N: n, buf: buf}
+}
+
+// Bytes reports the packed footprint.
+func (p *PackedB) Bytes() int64 { return 4 * int64(len(p.buf)) }

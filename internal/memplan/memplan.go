@@ -247,6 +247,13 @@ type Estimate struct {
 	// TotalBytes sums every managed value — what a run would allocate with
 	// no reuse at all.
 	TotalBytes int64
+	// ScratchBytes is the largest transient kernel scratch any single node
+	// draws from the run's allocator (im2col patch matrices, call-time
+	// GEMM packing) — zero unless computed via EstimateWithScratch.
+	// Scratch is taken and returned within one kernel invocation, so one
+	// run needs at most this much extra per concurrently-executing lane on
+	// top of PeakLiveBytes.
+	ScratchBytes int64
 }
 
 // Estimate computes the forecast from per-value element counts (as
@@ -284,6 +291,22 @@ func (p *Plan) Estimate(sizes map[string]int) Estimate {
 		cur += byPos[pos]
 		if cur > e.PeakLiveBytes {
 			e.PeakLiveBytes = cur
+		}
+	}
+	return e
+}
+
+// EstimateWithScratch is Estimate extended with kernel scratch sizing:
+// scratch maps node names to the transient elements their kernels draw
+// from the run's allocator (as recorded by exec.MeasureCosts in
+// MeasuredModel.ScratchNumel, or exec's ops.ScratchElems directly). The
+// im2col lowering of convolution made this term real: a serving arena must
+// hold the patch matrix and packing panels alongside the live values.
+func (p *Plan) EstimateWithScratch(sizes map[string]int, scratch map[string]int) Estimate {
+	e := p.Estimate(sizes)
+	for _, s := range scratch {
+		if b := 4 * int64(s); b > e.ScratchBytes {
+			e.ScratchBytes = b
 		}
 	}
 	return e

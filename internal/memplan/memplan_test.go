@@ -186,6 +186,30 @@ func TestEstimate(t *testing.T) {
 	if e.SlotBytes != 800 {
 		t.Fatalf("slot bytes = %d, want 800 (2 slots x 400)", e.SlotBytes)
 	}
+	if e.ScratchBytes != 0 {
+		t.Fatalf("plain Estimate must not include scratch, got %d", e.ScratchBytes)
+	}
+}
+
+func TestEstimateWithScratch(t *testing.T) {
+	p, err := Build(chainGraph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{"a": 100, "b": 100, "out": 100}
+	// Per-node kernel scratch (im2col + packing); the estimate reports the
+	// largest single draw, not the sum — scratch is returned within a node.
+	scratch := map[string]int{"A": 50, "B": 300, "C": 10}
+	e := p.EstimateWithScratch(sizes, scratch)
+	if e.ScratchBytes != 4*300 {
+		t.Fatalf("scratch = %d, want %d (largest node)", e.ScratchBytes, 4*300)
+	}
+	if e.PeakLiveBytes != 800 || e.TotalBytes != 800 {
+		t.Fatal("scratch accounting must not disturb value estimates")
+	}
+	if e2 := p.EstimateWithScratch(sizes, nil); e2.ScratchBytes != 0 {
+		t.Fatalf("nil scratch map: got %d", e2.ScratchBytes)
+	}
 }
 
 func TestRandomGraphsConsistency(t *testing.T) {

@@ -1,15 +1,37 @@
 package ops
 
 import (
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
 // Conv implements 2-D convolution over NCHW activations with OIHW weights,
 // optional bias, symmetric or ONNX-style padding and grouped channels.
-// Output rows are distributed across intra-op worker goroutines.
+//
+// GEMM-worthy shapes are lowered to im2col + the blocked GEMM core
+// (internal/kernels): per (batch, group) the input plane group is expanded
+// into a K×N patch matrix in scratch drawn from the run's allocator (the
+// arena during serving, so steady state allocates nothing) and multiplied
+// by the filter matrix — prepacked at compile time when the weights are
+// graph constants. Degenerate shapes (depthwise and other tiny per-group
+// matrices) keep the direct loop, which also serves as the reference
+// implementation in tests.
 var Conv = onHeap(convK)
 
 func convK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	return convPacked(in, attrs, a, nil)
+}
+
+// convGEMMWorthy decides the im2col+GEMM lowering. It must depend only on
+// weight-derived dims so the compile-time prepack pass (which cannot see
+// activation sizes) makes the same call as the kernel.
+func convGEMMWorthy(mPerG, cg, kh, kw int) bool {
+	return mPerG >= 2 && cg*kh*kw >= 4
+}
+
+// convPacked is the shared kernel body; pw is non-nil (one PackedA per
+// group) when the compile-time prepack pass packed constant filters.
+func convPacked(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator, pw []*kernels.PackedA) ([]*tensor.Tensor, error) {
 	if err := need("Conv", in, 2, 3); err != nil {
 		return nil, err
 	}
@@ -44,13 +66,70 @@ func convK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tens
 	if oh <= 0 || ow <= 0 {
 		return nil, argErr("Conv", "non-positive output size %dx%d from input %v kernel %dx%d", oh, ow, xs, kh, kw)
 	}
+	mPerG := m / groups
+	if !convGEMMWorthy(mPerG, cg, kh, kw) {
+		return convDirect(x, w, bias, a, groups, sh, sw, pt, pl, oh, ow)
+	}
 
+	out := tensor.ZerosIn(a, n, m, oh, ow)
+	xd, wdata, od := x.Data(), w.Data(), out.Data()
+	colK := cg * kh * kw
+	colN := oh * ow
+
+	// Seed the output with the bias before the GEMMs: the blocked kernel
+	// accumulates (C +=), so the bias rides along with no extra pass and
+	// no per-call closure.
+	if bias != nil {
+		bd := bias.Data()
+		for idx := 0; idx < n*m; idx++ {
+			bv := bd[idx%m]
+			row := od[idx*colN : idx*colN+colN]
+			for j := range row {
+				row[j] = bv
+			}
+		}
+	}
+
+	// A 1x1 stride-1 unpadded kernel needs no patch expansion: the plane
+	// group itself is already the cg x (h*w) matrix.
+	needCol := !(kh == 1 && kw == 1 && sh == 1 && sw == 1 && pt == 0 && pl == 0 && pb == 0 && pr == 0)
+	var col []float32
+	if needCol {
+		col = tensor.AllocUninit(a, colK*colN)
+	}
+	for b := 0; b < n; b++ {
+		for g := 0; g < groups; g++ {
+			colMat := xd[(b*c+g*cg)*h*wd : (b*c+(g+1)*cg)*h*wd]
+			if needCol {
+				kernels.Im2col(col, colMat, cg, h, wd, kh, kw, sh, sw, pt, pl, oh, ow)
+				colMat = col
+			}
+			cSlice := od[(b*m+g*mPerG)*colN : (b*m+(g+1)*mPerG)*colN]
+			if pw != nil {
+				kernels.GemmPackedA(pw[g], colN, colMat, colN, false, cSlice, a)
+			} else {
+				wg := wdata[g*mPerG*colK : (g+1)*mPerG*colK]
+				kernels.Gemm(1, mPerG, colN, colK, wg, colK, false, colMat, colN, false, cSlice, a)
+			}
+		}
+	}
+	tensor.Free(a, col)
+	return []*tensor.Tensor{out}, nil
+}
+
+// convDirect is the retained direct 7-loop convolution: the reference the
+// equivalence tests check the GEMM lowering against, and the execution
+// path for shapes where a per-group GEMM would degenerate (depthwise).
+// Work is parallelized across (batch, outChannel) pairs, the same axis
+// PyTorch's OpenMP loops use.
+func convDirect(x, w, bias *tensor.Tensor, a tensor.Allocator, groups, sh, sw, pt, pl, oh, ow int) ([]*tensor.Tensor, error) {
+	xs, ws := x.Shape(), w.Shape()
+	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
+	m, cg, kh, kw := ws[0], ws[1], ws[2], ws[3]
 	out := tensor.ZerosIn(a, n, m, oh, ow)
 	xd, wdata, od := x.Data(), w.Data(), out.Data()
 	mPerG := m / groups
 
-	// Parallelize across (batch, outChannel) pairs: the natural task grain
-	// for CNN inference and the same axis PyTorch's OpenMP loops use.
 	tensor.ParallelFor(n*m, 1, func(idx int) {
 		b := idx / m
 		oc := idx % m

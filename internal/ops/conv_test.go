@@ -56,6 +56,16 @@ func TestConvMatchesReference(t *testing.T) {
 		{1, 6, 5, 5, 6, 3, 3, 1, 1, 1, 3},
 		{1, 3, 12, 12, 8, 5, 5, 2, 2, 2, 1},
 		{1, 3, 14, 14, 4, 7, 7, 2, 2, 3, 1},
+		// im2col lowering edge shapes: odd spatial tails, stride 3, wide
+		// output (tile tails in GEMM n), depthwise (direct-path fallback),
+		// grouped with odd channel counts, and 1x1 with stride.
+		{1, 5, 9, 7, 7, 3, 3, 3, 3, 1, 1},
+		{2, 3, 19, 23, 17, 3, 3, 1, 1, 1, 1},
+		{1, 8, 6, 6, 8, 3, 3, 1, 1, 1, 8}, // depthwise
+		{1, 6, 10, 10, 9, 3, 3, 2, 2, 0, 3},
+		{1, 4, 8, 8, 6, 1, 1, 2, 2, 0, 1}, // 1x1 strided: im2col, not alias path
+		{1, 4, 8, 8, 6, 1, 1, 1, 1, 0, 1}, // 1x1 stride-1: plane-alias fast path
+		{3, 2, 5, 5, 4, 4, 4, 1, 1, 2, 2}, // even kernel, batch > 1
 	}
 	for _, c := range cases {
 		x := r.RandTensor(c.n, c.c, c.h, c.w)
@@ -74,6 +84,23 @@ func TestConvMatchesReference(t *testing.T) {
 		if !got[0].AllClose(want, 1e-4, 1e-5) {
 			t.Errorf("%+v: conv mismatch, max diff %v", c, got[0].MaxAbsDiff(want))
 		}
+	}
+}
+
+// TestConvAsymmetricPads covers ONNX-style unequal begin/end padding
+// through the im2col path.
+func TestConvAsymmetricPads(t *testing.T) {
+	r := tensor.NewRNG(13)
+	x := r.RandTensor(1, 3, 9, 9)
+	w := r.RandTensor(5, 3, 3, 3)
+	attrs := Attrs{"pads": []int{2, 0, 1, 3}, "strides": []int{2, 1}}
+	got, err := Conv([]*tensor.Tensor{x, w}, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refConv(x, w, nil, 2, 1, 2, 0, 1, 3, 1)
+	if !got[0].AllClose(want, 1e-4, 1e-5) {
+		t.Errorf("asymmetric pads: max diff %v", got[0].MaxAbsDiff(want))
 	}
 }
 

@@ -1,15 +1,23 @@
 package ops
 
 import (
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
 // MatMul implements ONNX MatMul: 2-D matrix product plus batched variants
-// where both inputs have rank >= 2 and leading dimensions broadcast.
-// Rows of the left operand are distributed across intra-op workers.
+// where both inputs have rank >= 2 and leading dimensions broadcast. The
+// product itself runs on the blocked GEMM core (internal/kernels); this
+// file only validates shapes and maps batch indexes.
 var MatMul = onHeap(matMulK)
 
-func matMulK(in []*tensor.Tensor, _ Attrs, a2 tensor.Allocator) ([]*tensor.Tensor, error) {
+func matMulK(in []*tensor.Tensor, attrs Attrs, a2 tensor.Allocator) ([]*tensor.Tensor, error) {
+	return matMulPacked(in, attrs, a2, nil)
+}
+
+// matMulPacked is the shared kernel body; pb is non-nil when the graph's
+// right operand is a constant the compile-time prepack pass already packed.
+func matMulPacked(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator, pb *kernels.PackedB) ([]*tensor.Tensor, error) {
 	if err := need("MatMul", in, 2, 2); err != nil {
 		return nil, err
 	}
@@ -23,70 +31,96 @@ func matMulK(in []*tensor.Tensor, _ Attrs, a2 tensor.Allocator) ([]*tensor.Tenso
 	if k != k2 {
 		return nil, argErr("MatMul", "inner dimensions differ: %v x %v", as, bs)
 	}
-	batchA, err := tensor.Broadcast(as[:as.Rank()-2], bs[:bs.Rank()-2])
+	batchShape, err := tensor.Broadcast(as[:as.Rank()-2], bs[:bs.Rank()-2])
 	if err != nil {
 		return nil, argErr("MatMul", "batch dims incompatible: %v", err)
 	}
-	outShape := append(batchA.Clone(), m, n)
-	out := tensor.ZerosIn(a2, outShape...)
+	outShape := append(batchShape.Clone(), m, n)
+	out := tensor.ZerosIn(alc, outShape...)
 
-	batches := batchA.Numel()
-	aBatch := as[:as.Rank()-2].Numel()
-	bBatch := bs[:bs.Rank()-2].Numel()
+	batches := batchShape.Numel()
 	ad, bd, od := a.Data(), b.Data(), out.Data()
+	bBatch := bs[:bs.Rank()-2].Numel()
 
-	for batch := 0; batch < batches; batch++ {
-		// Broadcast batch index back onto each operand. Operands either
-		// carry the full batch or a size-1 (or absent) batch.
-		ai := batch % maxInt(aBatch, 1)
-		bi := batch % maxInt(bBatch, 1)
-		if aBatch == batches {
-			ai = batch
-		} else if aBatch <= 1 {
-			ai = 0
+	// Broadcast each flat batch index back onto the operands per dimension
+	// (a size-1 operand dimension contributes stride 0), so mixed batch
+	// shapes like [2,1]x[1,3] address the right panels.
+	var aIdx, bIdx []int
+	if batches > 1 {
+		aIdx = broadcastIndices(batchShape, as[:as.Rank()-2])
+		bIdx = broadcastIndices(batchShape, bs[:bs.Rank()-2])
+	}
+	batchOf := func(idx []int, batch int) int {
+		if idx == nil {
+			return 0
 		}
-		if bBatch == batches {
-			bi = batch
-		} else if bBatch <= 1 {
-			bi = 0
+		return idx[batch]
+	}
+
+	switch {
+	case pb != nil:
+		for batch := 0; batch < batches; batch++ {
+			aOff := batchOf(aIdx, batch) * m * k
+			kernels.GemmPackedB(1, m, ad[aOff:], k, false, pb, od[batch*m*n:], alc)
 		}
-		aOff := ai * m * k
-		bOff := bi * k * n
-		oOff := batch * m * n
-		matmul2D(ad[aOff:aOff+m*k], bd[bOff:bOff+k*n], od[oOff:oOff+m*n], m, k, n)
+	case bBatch <= 1:
+		// One shared B: pack it once into run scratch, reuse per batch.
+		bbuf := tensor.AllocUninit(alc, kernels.PackedBSize(k, n))
+		kernels.PackBInto(bbuf, bd, k, n, n, false)
+		for batch := 0; batch < batches; batch++ {
+			aOff := batchOf(aIdx, batch) * m * k
+			kernels.GemmBPacked(1, m, n, k, ad[aOff:], k, false, bbuf, od[batch*m*n:], alc)
+		}
+		tensor.Free(alc, bbuf)
+	default:
+		for batch := 0; batch < batches; batch++ {
+			aOff := batchOf(aIdx, batch) * m * k
+			bOff := batchOf(bIdx, batch) * k * n
+			kernels.Gemm(1, m, n, k, ad[aOff:], k, false, bd[bOff:], n, false, od[batch*m*n:], alc)
+		}
 	}
 	return []*tensor.Tensor{out}, nil
 }
 
-// matmul2D computes C = A(mxk) * B(kxn) into c, parallelizing over rows.
-// The k-loop is the middle loop (ikj order) so B is streamed row-wise,
-// which keeps the inner loop vectorizable and cache-friendly.
-func matmul2D(a, b, c []float32, m, k, n int) {
-	tensor.ParallelRange(m, 4, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			for p := 0; p < k; p++ {
-				av := a[i*k+p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
+// broadcastIndices maps every flat index of the broadcast batch shape to
+// the flat batch index of an operand whose (right-aligned) batch dims are
+// dims: operand dimensions of extent 1 contribute stride 0, everything
+// else its row-major stride.
+func broadcastIndices(batch tensor.Shape, dims tensor.Shape) []int {
+	idx := make([]int, batch.Numel())
+	r := len(batch)
+	strides := make([]int, r)
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		bi := i + r - len(dims)
+		if dims[i] != 1 || batch[bi] == 1 {
+			strides[bi] = acc
 		}
-	})
+		acc *= dims[i]
+	}
+	for flat := range idx {
+		rem := flat
+		off := 0
+		for i := r - 1; i >= 0; i-- {
+			pos := rem % batch[i]
+			rem /= batch[i]
+			off += pos * strides[i]
+		}
+		idx[flat] = off
+	}
+	return idx
 }
 
 // Gemm implements ONNX Gemm: Y = alpha*op(A)*op(B) + beta*C with optional
-// transposes; C broadcasts over rows when it is a vector.
+// transposes; C broadcasts over rows when it is a vector. The product runs
+// on the blocked GEMM core; the beta/bias epilogue is row-parallel.
 var Gemm = onHeap(gemmK)
 
 func gemmK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
+	return gemmPacked(in, attrs, alc, nil)
+}
+
+func gemmPacked(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator, pb *kernels.PackedB) ([]*tensor.Tensor, error) {
 	if err := need("Gemm", in, 2, 3); err != nil {
 		return nil, err
 	}
@@ -111,35 +145,13 @@ func gemmK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Te
 		return nil, argErr("Gemm", "inner dimensions differ: %d vs %d", k, kb)
 	}
 	out := tensor.ZerosIn(alc, m, n)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
+	od := out.Data()
 
-	tensor.ParallelRange(m, 4, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := od[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				var av float32
-				if transA {
-					av = ad[p*as[1]+i]
-				} else {
-					av = ad[i*as[1]+p]
-				}
-				if av == 0 {
-					continue
-				}
-				av *= alpha
-				if transB {
-					for j := 0; j < n; j++ {
-						row[j] += av * bd[j*bs[1]+p]
-					}
-				} else {
-					bp := bd[p*bs[1] : p*bs[1]+n]
-					for j, bv := range bp {
-						row[j] += av * bv
-					}
-				}
-			}
-		}
-	})
+	if pb != nil {
+		kernels.GemmPackedB(alpha, m, a.Data(), as[1], transA, pb, od, alc)
+	} else {
+		kernels.Gemm(alpha, m, n, k, a.Data(), as[1], transA, b.Data(), bs[1], transB, od, alc)
+	}
 
 	if len(in) == 3 && beta != 0 {
 		c := in[2]
@@ -147,30 +159,30 @@ func gemmK(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator) ([]*tensor.Te
 		cd := c.Data()
 		switch {
 		case cs.Equal(tensor.Shape{m, n}):
-			for i := range od {
-				od[i] += beta * cd[i]
-			}
-		case cs.Numel() == n: // bias row vector, broadcast over rows
-			for i := 0; i < m; i++ {
-				row := od[i*n : (i+1)*n]
-				for j := range row {
-					row[j] += beta * cd[j]
+			tensor.ParallelRange(m, 16, func(lo, hi int) {
+				for i := lo * n; i < hi*n; i++ {
+					od[i] += beta * cd[i]
 				}
-			}
+			})
+		case cs.Numel() == n: // bias row vector, broadcast over rows
+			tensor.ParallelRange(m, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := od[i*n : i*n+n]
+					for j, cv := range cd[:n] {
+						row[j] += beta * cv
+					}
+				}
+			})
 		case cs.Numel() == 1:
-			for i := range od {
-				od[i] += beta * cd[0]
-			}
+			add := beta * cd[0]
+			tensor.ParallelRange(m, 16, func(lo, hi int) {
+				for i := lo * n; i < hi*n; i++ {
+					od[i] += add
+				}
+			})
 		default:
 			return nil, argErr("Gemm", "C shape %v not broadcastable to [%d %d]", cs, m, n)
 		}
 	}
 	return []*tensor.Tensor{out}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

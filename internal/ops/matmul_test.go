@@ -80,6 +80,53 @@ func TestMatMulBroadcastBatch(t *testing.T) {
 	}
 }
 
+// Regression: mixed batch shapes like [2,1]x[1,3] must map each output
+// batch (i,j) to operand panels (i) and (j) with per-dimension broadcast
+// strides. The old linear batch%aBatch fallback mis-addressed these.
+func TestMatMulMixedBroadcastBatch(t *testing.T) {
+	r := tensor.NewRNG(33)
+	const m, k, n = 4, 5, 6
+	a := r.RandTensor(2, 1, m, k)
+	b := r.RandTensor(1, 3, k, n)
+	got, err := MatMul([]*tensor.Tensor{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Shape().Equal(tensor.Shape{2, 3, m, n}) {
+		t.Fatalf("shape = %v", got[0].Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			ai := tensor.New(tensor.Shape{m, k}, a.Data()[i*m*k:(i+1)*m*k])
+			bj := tensor.New(tensor.Shape{k, n}, b.Data()[j*k*n:(j+1)*k*n])
+			want := refMatMul(ai, bj)
+			off := (i*3 + j) * m * n
+			gij := tensor.New(tensor.Shape{m, n}, got[0].Data()[off:off+m*n])
+			if !gij.AllClose(want, 1e-4, 1e-5) {
+				t.Errorf("batch (%d,%d): max diff %v", i, j, gij.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestMatMulOddShapesVsReference drives the packed kernel through tile and
+// panel tails at the operator level.
+func TestMatMulOddShapesVsReference(t *testing.T) {
+	r := tensor.NewRNG(12)
+	for _, d := range [][3]int{{1, 7, 1}, {3, 5, 33}, {17, 19, 23}, {31, 300, 9}, {65, 5, 130}} {
+		a := r.RandTensor(d[0], d[1])
+		b := r.RandTensor(d[1], d[2])
+		got, err := MatMul([]*tensor.Tensor{a, b}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refMatMul(a, b)
+		if !got[0].AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("dims %v: max diff %v", d, got[0].MaxAbsDiff(want))
+		}
+	}
+}
+
 func TestMatMulErrors(t *testing.T) {
 	if _, err := MatMul([]*tensor.Tensor{tensor.Zeros(2, 3), tensor.Zeros(4, 5)}, nil); err == nil {
 		t.Error("inner-dim mismatch accepted")

@@ -1,0 +1,177 @@
+package ops
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Prepacked holds the compile-time-packed constant operands of one
+// GEMM-shaped node: the right-hand weight matrix of MatMul/Gemm, or the
+// per-group filter matrices of Conv. It is immutable after creation and
+// shared by every run of the owning plan.
+type Prepacked struct {
+	// B is the packed right operand (MatMul/Gemm).
+	B *kernels.PackedB
+	// A holds one packed filter matrix per convolution group (Conv).
+	A []*kernels.PackedA
+}
+
+// Bytes reports the packed footprint.
+func (p *Prepacked) Bytes() int64 {
+	var b int64
+	if p.B != nil {
+		b += p.B.Bytes()
+	}
+	for _, a := range p.A {
+		b += a.Bytes()
+	}
+	return b
+}
+
+// PrepackWeights packs the constant operands of one node at compile time.
+// constIn mirrors the node's inputs positionally, nil for anything that is
+// not a graph constant. It returns nil when the op has no GEMM-shaped
+// constant operand (or the kernel would not take the GEMM path), in which
+// case the node runs the ordinary registry kernel.
+func PrepackWeights(opType string, attrs Attrs, constIn []*tensor.Tensor) *Prepacked {
+	switch opType {
+	case "MatMul":
+		if len(constIn) < 2 || constIn[1] == nil {
+			return nil
+		}
+		b := constIn[1]
+		bs := b.Shape()
+		if bs.Rank() < 2 {
+			return nil
+		}
+		k, n := bs[bs.Rank()-2], bs[bs.Rank()-1]
+		if k <= 0 || n <= 0 || k*n != b.Numel() {
+			// A truly batched constant B (several distinct matrices) is not
+			// worth a per-batch packed copy; leave it to the call-time path.
+			return nil
+		}
+		return &Prepacked{B: kernels.PrepackB(b.Data(), k, n, n, false)}
+	case "Gemm":
+		if len(constIn) < 2 || constIn[1] == nil {
+			return nil
+		}
+		b := constIn[1]
+		bs := b.Shape()
+		if bs.Rank() != 2 {
+			return nil
+		}
+		transB := attrs.Int("transB", 0) != 0
+		k, n := bs[0], bs[1]
+		if transB {
+			k, n = n, k
+		}
+		if k <= 0 || n <= 0 {
+			return nil
+		}
+		return &Prepacked{B: kernels.PrepackB(b.Data(), k, n, bs[1], transB)}
+	case "Conv":
+		if len(constIn) < 2 || constIn[1] == nil {
+			return nil
+		}
+		w := constIn[1]
+		ws := w.Shape()
+		if ws.Rank() != 4 {
+			return nil
+		}
+		m, cg, kh, kw := ws[0], ws[1], ws[2], ws[3]
+		groups := attrs.Int("group", 1)
+		if groups < 1 {
+			groups = 1
+		}
+		if m <= 0 || m%groups != 0 {
+			return nil
+		}
+		mPerG := m / groups
+		if !convGEMMWorthy(mPerG, cg, kh, kw) {
+			return nil
+		}
+		colK := cg * kh * kw
+		pa := make([]*kernels.PackedA, groups)
+		for g := 0; g < groups; g++ {
+			pa[g] = kernels.PrepackA(w.Data()[g*mPerG*colK:], mPerG, colK, colK, false)
+		}
+		return &Prepacked{A: pa}
+	}
+	return nil
+}
+
+// RunPrepacked executes a node whose constant operands were packed at
+// compile time. opType must be one PrepackWeights returned non-nil for.
+func RunPrepacked(opType string, in []*tensor.Tensor, attrs Attrs, a tensor.Allocator, pp *Prepacked) ([]*tensor.Tensor, error) {
+	switch opType {
+	case "MatMul":
+		return matMulPacked(in, attrs, a, pp.B)
+	case "Gemm":
+		return gemmPacked(in, attrs, a, pp.B)
+	case "Conv":
+		return convPacked(in, attrs, a, pp.A)
+	}
+	return nil, argErr(opType, "no prepacked execution path")
+}
+
+// ScratchElems estimates the transient float32 elements the node's kernel
+// will draw from the run's allocator for these inputs — the im2col patch
+// matrix plus call-time GEMM packing — so the memory planner can size
+// arenas beyond value storage alone. Prepacked weights remove the A-side
+// term at run time; the estimate reports the un-prepacked worst case.
+func ScratchElems(opType string, attrs Attrs, in []*tensor.Tensor) int {
+	switch opType {
+	case "MatMul":
+		if len(in) < 2 || in[0].Shape().Rank() < 2 || in[1].Shape().Rank() < 2 {
+			return 0
+		}
+		as, bs := in[0].Shape(), in[1].Shape()
+		m, k := as[as.Rank()-2], as[as.Rank()-1]
+		n := bs[bs.Rank()-1]
+		return kernels.PackedASize(m, k) + kernels.PackedBSize(k, n)
+	case "Gemm":
+		if len(in) < 2 || in[0].Shape().Rank() != 2 || in[1].Shape().Rank() != 2 {
+			return 0
+		}
+		as := in[0].Shape()
+		m, k := as[0], as[1]
+		if attrs.Int("transA", 0) != 0 {
+			m, k = k, m
+		}
+		n := in[1].Numel() / maxInt(k, 1)
+		return kernels.PackedASize(m, k) + kernels.PackedBSize(k, n)
+	case "Conv":
+		if len(in) < 2 || in[0].Shape().Rank() != 4 || in[1].Shape().Rank() != 4 {
+			return 0
+		}
+		xs, ws := in[0].Shape(), in[1].Shape()
+		h, wd := xs[2], xs[3]
+		m, cg, kh, kw := ws[0], ws[1], ws[2], ws[3]
+		groups := attrs.Int("group", 1)
+		if groups < 1 {
+			groups = 1
+		}
+		if m%groups != 0 || !convGEMMWorthy(m/groups, cg, kh, kw) {
+			return 0
+		}
+		sh, sw := strides2(attrs.Ints("strides", nil))
+		pt, pl, pb, pr := pads4(attrs.Ints("pads", nil))
+		oh := convOutDim(h, kh, sh, pt, pb)
+		ow := convOutDim(wd, kw, sw, pl, pr)
+		if oh <= 0 || ow <= 0 {
+			return 0
+		}
+		colK, colN := cg*kh*kw, oh*ow
+		return colK*colN + // im2col patch matrix
+			kernels.PackedBSize(colK, colN) + // patch packing inside GEMM
+			kernels.PackedASize(m/groups, colK) // filter packing when not prepacked
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -50,6 +50,13 @@ func allocDataUninit(a Allocator, n int) []float32 {
 // for kernel scratch buffers that are not tensors.
 func Alloc(a Allocator, n int) []float32 { return allocData(a, n) }
 
+// AllocUninit returns a scratch []float32 of length n from a (nil = heap)
+// whose contents are arbitrary — for kernel scratch the caller fully
+// overwrites (packed GEMM panels, im2col patch matrices), skipping the
+// zero fill a recycled arena buffer would otherwise pay. Return it with
+// Free when the kernel is done so steady-state runs stay allocation-flat.
+func AllocUninit(a Allocator, n int) []float32 { return allocDataUninit(a, n) }
+
 // Free returns a scratch buffer to a; a no-op when a is nil.
 func Free(a Allocator, buf []float32) {
 	if a != nil && len(buf) > 0 {

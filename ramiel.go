@@ -183,6 +183,9 @@ func compile(g *Graph, opts Options) (*Program, error) {
 	if opts.EagerMemPlan {
 		plan.MemoryPlan()
 	}
+	// Pack constant GEMM/Conv weights once, now, so no Session.Run ever
+	// repacks them (the prepack pass; CompileTime includes it).
+	plan.PrepackWeights()
 	p.CompileTime = time.Since(start)
 	return p, nil
 }
@@ -234,6 +237,13 @@ func (p *Program) RunProfiledArena(feeds Env, a *Arena) (Env, *Profile, error) {
 // reuse slots, and (via Estimate with exec.ValueSizes) peak-memory
 // forecasts.
 func (p *Program) MemoryPlan() *memplan.Plan { return p.Plan.MemoryPlan() }
+
+// PrepackedWeights reports the compile-time weight prepacking: how many
+// GEMM-shaped nodes had constant operands packed into kernel panel layout
+// at Compile time, and the packed bytes every run now shares.
+func (p *Program) PrepackedWeights() (nodes int, bytes int64) {
+	return p.Plan.PrepackWeights()
+}
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 //
@@ -313,6 +323,7 @@ func (p *Program) Hypercluster(batch int, switched bool) (*Program, error) {
 			return nil, err
 		}
 	}
+	plan.PrepackWeights() // replicated weights pack once here, not per run
 	return &Program{
 		Graph:       h.Graph,
 		Plan:        plan,
