@@ -40,6 +40,7 @@ func main() {
 	prune := flag.Bool("prune", false, "run constant propagation + DCE")
 	clone := flag.Bool("clone", false, "run limited task cloning")
 	noMerge := flag.Bool("no-merge", false, "skip the cluster-merging pass")
+	noFuse := flag.Bool("no-fuse", false, "skip operator fusion (BN folding, kernel epilogues, fused elementwise chains)")
 	batch := flag.Int("batch", 1, "hypercluster to this batch size (>1 enables)")
 	switched := flag.Bool("switched", false, "use switched hyperclustering")
 	intra := flag.Int("intra", 1, "intra-op threads for real execution")
@@ -67,6 +68,9 @@ func main() {
 	if *noMerge {
 		copts = append(copts, ramiel.WithoutMerge())
 	}
+	if *noFuse {
+		copts = append(copts, ramiel.WithoutFusion())
+	}
 	prog, err := ramiel.Compile(g, copts...)
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +85,10 @@ func main() {
 	if *clone {
 		fmt.Printf("  cloning: %d nodes replicated, %d replicas added\n",
 			prog.CloneReport.ClonedNodes, prog.CloneReport.AddedNodes)
+	}
+	if fr := prog.FusionReport; fr.Any() {
+		fmt.Printf("  fusion: %d BatchNorms folded, %d kernel epilogues attached, %d elementwise nodes collapsed into %d chains\n",
+			fr.BNFolded, fr.Epilogues, fr.ChainNodes, fr.Chains)
 	}
 
 	if *batch > 1 {
@@ -106,7 +114,13 @@ func main() {
 	}
 	if *codegen != "" {
 		did = true
-		src, err := prog.GenerateGo(ramiel.CodegenOptions{EmitMain: true})
+		genOpts := ramiel.CodegenOptions{EmitMain: true}
+		if *model != "" {
+			// The generated main rebuilds its environment from the zoo; it
+			// must use the image size this graph was built at.
+			genOpts.ModelConfigExpr = fmt.Sprintf("ramiel.ModelConfig{ImageSize: %d}", *img)
+		}
+		src, err := prog.GenerateGo(genOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -53,6 +53,7 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	prune := flag.Bool("prune", false, "compile with constant propagation + DCE")
 	clone := flag.Bool("clone", false, "compile with limited task cloning")
+	fusion := flag.Bool("fusion", true, "compile with operator fusion (BN folding, kernel epilogues, fused elementwise chains)")
 	warm := flag.Bool("warm", true, "precompile batch-1 programs at startup")
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 		Switched:     *switched,
 		Deadline:     *deadline,
 		NoArena:      !*arena,
-		Compile:      ramiel.Options{Prune: *prune, Clone: *clone},
+		Compile:      ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
 	})
 
 	var zoo []string
@@ -96,8 +97,8 @@ func main() {
 		log.Printf("warmed %d models in %v", len(srv.Registry().Models()),
 			time.Since(warmStart).Round(time.Millisecond))
 	}
-	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v)",
-		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena)
+	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v)",
+		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

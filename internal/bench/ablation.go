@@ -83,7 +83,7 @@ func AblationCloneThreshold(opts Opts) (string, error) {
 		var cells []string
 		for _, maxCost := range []float64{10, 40, 120} {
 			co := ramiel.CloneOptions{MaxConeCost: maxCost, MaxConeNodes: 24, MaxFanout: 4, TopFraction: 0.5, MaxClones: 192}
-			prog, err := ramiel.Compile(c.g, ramiel.WithClone(co))
+			prog, err := ramiel.Compile(c.g, ramiel.WithClone(co), ramiel.WithoutFusion())
 			if err != nil {
 				return "", err
 			}

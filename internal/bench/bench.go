@@ -79,19 +79,24 @@ func (h *harness) model(name string) (*modelCtx, error) {
 	}
 	c := &modelCtx{name: name, g: g, feeds: ramiel.RandomInputs(g, 1)}
 
-	if c.lc, err = ramiel.Compile(g); err != nil {
+	// The paper's pipeline has no operator-fusion pass; compiling the
+	// table variants WithoutFusion keeps node counts, op granularity and
+	// the Table I parallelism factors comparable to the published numbers.
+	// (Fusion stays on by default everywhere else — it is a serving-side
+	// optimization layered on top of the reproduction.)
+	if c.lc, err = ramiel.Compile(g, ramiel.WithoutFusion()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.lcNoMrg, err = ramiel.Compile(g, ramiel.WithoutMerge()); err != nil {
+	if c.lcNoMrg, err = ramiel.Compile(g, ramiel.WithoutMerge(), ramiel.WithoutFusion()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.pruned, err = ramiel.Compile(g, ramiel.WithPrune()); err != nil {
+	if c.pruned, err = ramiel.Compile(g, ramiel.WithPrune(), ramiel.WithoutFusion()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.cloned, err = ramiel.Compile(g, ramiel.WithClone()); err != nil {
+	if c.cloned, err = ramiel.Compile(g, ramiel.WithClone(), ramiel.WithoutFusion()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if c.best, err = ramiel.Compile(g, ramiel.WithPrune(), ramiel.WithClone()); err != nil {
+	if c.best, err = ramiel.Compile(g, ramiel.WithPrune(), ramiel.WithClone(), ramiel.WithoutFusion()); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 

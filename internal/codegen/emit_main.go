@@ -68,10 +68,21 @@ func emitSequential(b *strings.Builder, g *graph.Graph) {
 // queues, time the run, and cross-check against the sequential version.
 func emitMain(b *strings.Builder, g *graph.Graph, lanes int, opts Options) {
 	b.WriteString("func main() {\n")
-	if opts.ModelPath != "" {
+	switch {
+	case opts.ModelPath != "":
 		fmt.Fprintf(b, "\tenv, err := ramiel.LoadEnv(%q)\n", opts.ModelPath)
 		b.WriteString("\tif err != nil {\n\t\tlog.Fatal(err)\n\t}\n")
-	} else {
+	case opts.CompileOptsExpr != "":
+		// Optimization passes materialize initializers the base model does
+		// not have (folded constants, fused BN weights); replaying the same
+		// build + compile reproduces exactly the names this code references.
+		cfg := opts.ModelConfigExpr
+		if cfg == "" {
+			cfg = "ramiel.ModelConfig{}"
+		}
+		fmt.Fprintf(b, "\tenv := ramiel.CompiledEnv(%q, %s, %s)\n", g.Name, cfg, opts.CompileOptsExpr)
+		b.WriteString("\tvar err error\n")
+	default:
 		fmt.Fprintf(b, "\tenv := ramiel.SyntheticEnv(%q)\n", g.Name)
 		b.WriteString("\tvar err error\n")
 	}

@@ -83,6 +83,7 @@ func DefaultModel() *StaticModel {
 			"Constant":           1,
 			"Identity":           1,
 			"Erf":                1,
+			"FusedElementwise":   1, // k collapsed elementwise passes cost ~1 sweep
 			"Relu":               1,
 			"LeakyRelu":          1,
 			"Sigmoid":            1,

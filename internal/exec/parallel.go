@@ -169,6 +169,12 @@ type memState struct {
 	// drops lists the decrements owed at each node's completion: one per
 	// managed input occurrence, plus one per zero-use output.
 	drops map[*graph.Node][]memDrop
+	// inplace marks nodes executed via ops.RunInPlace: the memory plan
+	// proves their first input dies with them (memplan.CanWriteInPlace)
+	// and the kernel layer has an in-place path (ops.CanRunInPlace). The
+	// input buffer's ownership transfers to the output, so no drop is
+	// scheduled for it — it is released when the output dies.
+	inplace map[*graph.Node]bool
 }
 
 // memory returns the plan's release schedule, building it on first use.
@@ -182,13 +188,24 @@ func (p *Plan) memory() *memState {
 			return
 		}
 		m := &memState{
-			plan:  mp,
-			refs0: mp.InitialRefs(),
-			drops: make(map[*graph.Node][]memDrop, len(p.Graph.Nodes)),
+			plan:    mp,
+			refs0:   mp.InitialRefs(),
+			drops:   make(map[*graph.Node][]memDrop, len(p.Graph.Nodes)),
+			inplace: make(map[*graph.Node]bool),
 		}
 		for _, lane := range p.Lanes {
 			for _, n := range lane {
-				for _, in := range n.Inputs {
+				// In-place execution needs both the liveness proof and a
+				// kernel path. It composes with the prepack table: a
+				// FusedElementwise node with a decoded stage program runs
+				// via ops.RunPrepackedInPlace (weight-packed ops are never
+				// in-place capable).
+				inplace := ops.CanRunInPlace(n.OpType) && mp.CanWriteInPlace(n.Name)
+				m.inplace[n] = inplace
+				for ii, in := range n.Inputs {
+					if inplace && ii == 0 {
+						continue // ownership transfers to the output
+					}
 					if i := mp.IndexOf(in); i >= 0 {
 						m.drops[n] = append(m.drops[n], memDrop{i, in})
 					}
@@ -238,6 +255,14 @@ func (p *Plan) prepacked() map[*graph.Node]*ops.Prepacked {
 		tbl := map[*graph.Node]*ops.Prepacked{}
 		shared := map[packKey]*ops.Prepacked{}
 		for _, n := range p.Graph.Nodes {
+			if n.OpType == "FusedElementwise" {
+				// No constant operands to pack — the prepared state is the
+				// decoded stage program, one per node (replicas are cheap).
+				if pp := ops.PrepackWeights(n.OpType, n.Attrs, make([]*tensor.Tensor, len(n.Inputs))); pp != nil {
+					tbl[n] = pp
+				}
+				continue
+			}
 			constIn := make([]*tensor.Tensor, len(n.Inputs))
 			any := false
 			for i, name := range n.Inputs {
@@ -272,19 +297,25 @@ func (p *Plan) prepacked() map[*graph.Node]*ops.Prepacked {
 	return p.pack
 }
 
-// PrepackWeights builds the plan's compile-time weight packing (idempotent;
+// PrepackWeights builds the plan's compile-time prepack table (idempotent;
 // Compile calls it eagerly so Session.Run never pays it) and reports how
-// many nodes got packed operands and their total packed bytes.
+// many nodes got packed weight operands and their total packed bytes.
+// FusedElementwise entries (decoded stage programs, no weight panels) are
+// excluded from the count.
 func (p *Plan) PrepackWeights() (nodes int, bytes int64) {
 	tbl := p.prepacked()
 	seen := make(map[*ops.Prepacked]bool, len(tbl))
 	for _, pp := range tbl {
+		if !pp.HasWeights() {
+			continue
+		}
+		nodes++
 		if !seen[pp] {
 			seen[pp] = true
 			bytes += pp.Bytes() // replicas share one packing; count it once
 		}
 	}
-	return len(tbl), bytes
+	return nodes, bytes
 }
 
 // message is one cross-cluster tensor transfer.
@@ -595,7 +626,8 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 					}
 				}
 				busyStart := time.Now()
-				if err := evalNode(p.Graph, n, env, alloc, pack[n]); err != nil {
+				inplace := refs != nil && mem.inplace[n]
+				if err := evalNode(p.Graph, n, env, alloc, pack[n], inplace); err != nil {
 					fail(li, err)
 					return
 				}

@@ -9,7 +9,6 @@ package exec
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/ops"
@@ -53,7 +52,7 @@ func runAllSequential(ctx context.Context, g *graph.Graph, feeds Env) (Env, erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := evalNode(g, n, env, nil, nil); err != nil {
+		if err := evalNode(g, n, env, nil, nil, false); err != nil {
 			return nil, err
 		}
 	}
@@ -104,7 +103,11 @@ func seedEnv(g *graph.Graph, feeds Env) (Env, error) {
 // arena-backed run recycles intermediate storage. pp carries the node's
 // compile-time-packed constant weights (plan runs); nil means the ordinary
 // registry kernel, which packs at call time and computes identical values.
-func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator, pp *ops.Prepacked) error {
+// inplace (arena runs only) means the memory plan proved the node's first
+// input dies here: the kernel writes the output into the input's buffer
+// (ops.RunInPlace), and the executor schedules no release for the input —
+// its storage lives on as the output.
+func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator, pp *ops.Prepacked, inplace bool) error {
 	inputs := make([]*tensor.Tensor, len(n.Inputs))
 	for i, name := range n.Inputs {
 		t, ok := env[name]
@@ -115,9 +118,14 @@ func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator, pp *op
 	}
 	var outs []*tensor.Tensor
 	var err error
-	if pp != nil {
+	switch {
+	case pp != nil && inplace:
+		outs, err = ops.RunPrepackedInPlace(n.OpType, inputs, n.Attrs, a, pp)
+	case pp != nil:
 		outs, err = ops.RunPrepacked(n.OpType, inputs, n.Attrs, a, pp)
-	} else {
+	case inplace:
+		outs, err = ops.RunInPlace(n.OpType, inputs, n.Attrs, a)
+	default:
 		kernel, kerr := ops.LookupAlloc(n.OpType)
 		if kerr != nil {
 			return fmt.Errorf("exec: node %s: %w", n.Name, kerr)
@@ -126,25 +134,6 @@ func evalNode(g *graph.Graph, n *graph.Node, env Env, a tensor.Allocator, pp *op
 	}
 	if err != nil {
 		return fmt.Errorf("exec: node %s: %w", n.Name, err)
-	}
-	// Apply any fused activation epilogue (passes.FuseOperators): a chain
-	// of attribute-free unary ops recorded on the node.
-	if chain := n.Attrs.Str("fused_epilogue", ""); chain != "" && len(outs) > 0 {
-		for _, epOp := range strings.Split(chain, "+") {
-			epKernel, err := ops.LookupAlloc(epOp)
-			if err != nil {
-				return fmt.Errorf("exec: node %s epilogue: %w", n.Name, err)
-			}
-			epOuts, err := epKernel(outs[:1], nil, a)
-			if err != nil {
-				return fmt.Errorf("exec: node %s epilogue %s: %w", n.Name, epOp, err)
-			}
-			// The pre-epilogue tensor is transient — bound to no value name —
-			// so its storage goes straight back to the arena (epilogue ops
-			// never alias their input).
-			tensor.ReleaseData(a, outs[0])
-			outs[0] = epOuts[0]
-		}
 	}
 	if len(outs) < len(n.Outputs) {
 		return fmt.Errorf("exec: node %s: kernel returned %d outputs, graph declares %d",

@@ -1,0 +1,78 @@
+package kernels
+
+// Epilogue is an activation applied to C during the packed writeback of the
+// GEMM core — the last moment the output tile is guaranteed cache-hot. The
+// fusion pass (internal/passes) attaches one to a Conv/Gemm/MatMul node when
+// the node's only consumer is a matching activation, turning Conv→BN→Relu
+// into exactly one kernel invocation: BN is folded into the weights at
+// compile time and the Relu rides the writeback here.
+//
+// Only activations whose value depends on nothing but the finished
+// accumulator qualify (Relu, LeakyRelu, Clip); they are applied once per C
+// element, after the final K panel has accumulated into it.
+type Epilogue struct {
+	Kind  EpiKind
+	Alpha float32 // LeakyRelu slope
+	Lo    float32 // Clip lower bound
+	Hi    float32 // Clip upper bound
+}
+
+// EpiKind enumerates the fusable writeback activations.
+type EpiKind uint8
+
+const (
+	// EpiNone is the zero Epilogue: a plain writeback.
+	EpiNone EpiKind = iota
+	// EpiRelu clamps negatives to zero.
+	EpiRelu
+	// EpiLeakyRelu scales negatives by Alpha.
+	EpiLeakyRelu
+	// EpiClip bounds values to [Lo, Hi].
+	EpiClip
+)
+
+// None reports whether the epilogue is a no-op, letting hot paths skip the
+// writeback sweep entirely.
+func (e Epilogue) None() bool { return e.Kind == EpiNone }
+
+// Val applies the epilogue to a single finished accumulator. The direct
+// convolution loop and the Gemm beta/bias sweep use this form.
+func (e Epilogue) Val(v float32) float32 {
+	switch e.Kind {
+	case EpiRelu:
+		return max(v, 0)
+	case EpiLeakyRelu:
+		if v < 0 {
+			return e.Alpha * v
+		}
+	case EpiClip:
+		return min(max(v, e.Lo), e.Hi)
+	}
+	return v
+}
+
+// Apply applies the epilogue to a finished row slice of C in place. The
+// kind switch is hoisted out of the element loop so each variant is a plain
+// branch-per-element slice sweep.
+func (e Epilogue) Apply(s []float32) {
+	switch e.Kind {
+	case EpiRelu:
+		// Branchless: random-sign accumulators would mispredict a
+		// comparison on roughly half the elements.
+		for i, v := range s {
+			s[i] = max(v, 0)
+		}
+	case EpiLeakyRelu:
+		a := e.Alpha
+		for i, v := range s {
+			if v < 0 {
+				s[i] = a * v
+			}
+		}
+	case EpiClip:
+		lo, hi := e.Lo, e.Hi
+		for i, v := range s {
+			s[i] = min(max(v, lo), hi)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// refEpilogue mirrors Epilogue.Val in plain float64-free code for the
+// reference results.
+func refEpilogue(epi Epilogue, v float32) float32 { return epi.Val(v) }
+
+// TestGemmEpilogueEquivalence checks that the fused writeback epilogue
+// computes exactly activation(naive GEMM) across tile-edge shapes, both
+// packed-operand entry points, and every epilogue kind. K spans multiple
+// KC panels in the large case so the "apply only on the final panel" rule
+// is exercised.
+func TestGemmEpilogueEquivalence(t *testing.T) {
+	r := tensor.NewRNG(11)
+	epis := []Epilogue{
+		{Kind: EpiRelu},
+		{Kind: EpiLeakyRelu, Alpha: 0.1},
+		{Kind: EpiClip, Lo: -0.5, Hi: 0.5},
+	}
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{MR, NR, KC},
+		{MR + 1, NR + 3, KC + 9}, // edge tiles + second K panel
+		{37, 61, KC*2 + 5},       // three K panels
+	}
+	for _, sh := range shapes {
+		a := r.RandTensor(sh.m, sh.k).Data()
+		b := r.RandTensor(sh.k, sh.n).Data()
+		for _, epi := range epis {
+			want := make([]float32, sh.m*sh.n)
+			NaiveGemm(1, sh.m, sh.n, sh.k, a, sh.k, false, b, sh.n, false, want)
+			for i, v := range want {
+				want[i] = refEpilogue(epi, v)
+			}
+
+			got := make([]float32, sh.m*sh.n)
+			GemmEpi(1, sh.m, sh.n, sh.k, a, sh.k, false, b, sh.n, false, got, nil, epi)
+			checkClose(t, "GemmEpi", sh.m, sh.n, sh.k, got, want)
+
+			pb := PrepackB(b, sh.k, sh.n, sh.n, false)
+			got2 := make([]float32, sh.m*sh.n)
+			GemmPackedBEpi(1, sh.m, a, sh.k, false, pb, got2, nil, epi)
+			checkClose(t, "GemmPackedBEpi", sh.m, sh.n, sh.k, got2, want)
+
+			pa := PrepackA(a, sh.m, sh.k, sh.k, false)
+			got3 := make([]float32, sh.m*sh.n)
+			GemmPackedAEpi(pa, sh.n, b, sh.n, false, got3, nil, epi)
+			checkClose(t, "GemmPackedAEpi", sh.m, sh.n, sh.k, got3, want)
+		}
+	}
+}
+
+// TestGemmEpilogueAppliedOnce seeds C with a bias (the Conv lowering's
+// bias-before-GEMM convention) and checks the epilogue sees bias+product,
+// exactly once — a double application of Relu is invisible, so Clip with a
+// tight window is used to catch it.
+func TestGemmEpilogueAppliedOnce(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m, n, k := 9, 33, KC+3
+	a := r.RandTensor(m, k).Data()
+	b := r.RandTensor(k, n).Data()
+	bias := float32(0.25)
+	epi := Epilogue{Kind: EpiClip, Lo: -0.3, Hi: 0.3}
+
+	want := make([]float32, m*n)
+	for i := range want {
+		want[i] = bias
+	}
+	NaiveGemm(1, m, n, k, a, k, false, b, n, false, want)
+	for i, v := range want {
+		want[i] = epi.Val(v)
+	}
+
+	got := make([]float32, m*n)
+	for i := range got {
+		got[i] = bias
+	}
+	GemmEpi(1, m, n, k, a, k, false, b, n, false, got, nil, epi)
+	checkClose(t, "bias+epilogue", m, n, k, got, want)
+}
+
+func checkClose(t *testing.T, name string, m, n, k int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("%s m=%d n=%d k=%d: element %d = %v, want %v", name, m, n, k, i, got[i], want[i])
+		}
+	}
+}

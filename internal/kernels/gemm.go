@@ -10,12 +10,25 @@ import "repro/internal/tensor"
 // dimension n and must be initialized (outputs are zero-filled by the
 // tensor constructors, so += realizes a plain product).
 func Gemm(alpha float32, m, n, k int, a []float32, lda int, transA bool, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator) {
-	if m <= 0 || n <= 0 || k <= 0 {
+	GemmEpi(alpha, m, n, k, a, lda, transA, b, ldb, transB, c, alc, Epilogue{})
+}
+
+// GemmEpi is Gemm with a fused writeback epilogue: epi is applied to every
+// C element exactly once, after its final K panel has accumulated, while
+// the tile is still cache-hot. An Epilogue zero value is a plain Gemm.
+func GemmEpi(alpha float32, m, n, k int, a []float32, lda int, transA bool, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator, epi Epilogue) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		// Degenerate product contributes nothing, but the fused activation
+		// still applies to C exactly as the unfused graph would.
+		epi.Apply(c[:m*n])
 		return
 	}
 	bbuf := tensor.AllocUninit(alc, PackedBSize(k, n))
 	PackBInto(bbuf, b, k, n, ldb, transB)
-	GemmBPacked(alpha, m, n, k, a, lda, transA, bbuf, c, alc)
+	GemmBPackedEpi(alpha, m, n, k, a, lda, transA, bbuf, c, alc, epi)
 	tensor.Free(alc, bbuf)
 }
 
@@ -24,31 +37,54 @@ func Gemm(alpha float32, m, n, k int, a []float32, lda int, transA bool, b []flo
 // caller-owned scratch packing reused across several products (batched
 // MatMul broadcasting one B).
 func GemmBPacked(alpha float32, m, n, k int, a []float32, lda int, transA bool, bpacked []float32, c []float32, alc tensor.Allocator) {
-	if m <= 0 || n <= 0 || k <= 0 {
+	GemmBPackedEpi(alpha, m, n, k, a, lda, transA, bpacked, c, alc, Epilogue{})
+}
+
+// GemmBPackedEpi is GemmBPacked with a fused writeback epilogue.
+func GemmBPackedEpi(alpha float32, m, n, k int, a []float32, lda int, transA bool, bpacked []float32, c []float32, alc tensor.Allocator, epi Epilogue) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		epi.Apply(c[:m*n]) // see GemmEpi
 		return
 	}
 	abuf := tensor.AllocUninit(alc, PackedASize(m, k))
 	// Fold alpha into the A packing: the microkernel then needs no scale.
 	packAInto(abuf, a, m, k, lda, transA, alpha)
-	gemmCore(m, n, k, abuf, bpacked, c)
+	gemmCore(m, n, k, abuf, bpacked, c, epi)
 	tensor.Free(alc, abuf)
 }
 
 // GemmPackedB is GemmBPacked against a compile-time PackedB.
 func GemmPackedB(alpha float32, m int, a []float32, lda int, transA bool, pb *PackedB, c []float32, alc tensor.Allocator) {
-	GemmBPacked(alpha, m, pb.N, pb.K, a, lda, transA, pb.buf, c, alc)
+	GemmBPackedEpi(alpha, m, pb.N, pb.K, a, lda, transA, pb.buf, c, alc, Epilogue{})
+}
+
+// GemmPackedBEpi is GemmPackedB with a fused writeback epilogue.
+func GemmPackedBEpi(alpha float32, m int, a []float32, lda int, transA bool, pb *PackedB, c []float32, alc tensor.Allocator, epi Epilogue) {
+	GemmBPackedEpi(alpha, m, pb.N, pb.K, a, lda, transA, pb.buf, c, alc, epi)
 }
 
 // GemmPackedA computes C += pa·op(B) against a compile-time PackedA (Conv
 // filters), packing only the call-varying right operand (the im2col patch
 // matrix) into scratch from alc.
 func GemmPackedA(pa *PackedA, n int, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator) {
-	if pa.M <= 0 || n <= 0 || pa.K <= 0 {
+	GemmPackedAEpi(pa, n, b, ldb, transB, c, alc, Epilogue{})
+}
+
+// GemmPackedAEpi is GemmPackedA with a fused writeback epilogue.
+func GemmPackedAEpi(pa *PackedA, n int, b []float32, ldb int, transB bool, c []float32, alc tensor.Allocator, epi Epilogue) {
+	if pa.M <= 0 || n <= 0 {
+		return
+	}
+	if pa.K <= 0 {
+		epi.Apply(c[:pa.M*n]) // see GemmEpi
 		return
 	}
 	bbuf := tensor.AllocUninit(alc, PackedBSize(pa.K, n))
 	PackBInto(bbuf, b, pa.K, n, ldb, transB)
-	gemmCore(pa.M, n, pa.K, pa.buf, bbuf, c)
+	gemmCore(pa.M, n, pa.K, pa.buf, bbuf, c, epi)
 	tensor.Free(alc, bbuf)
 }
 
@@ -64,7 +100,11 @@ func GemmPackedA(pa *PackedA, n int, b []float32, ldb int, transB bool, c []floa
 // keeps one NR-wide B strip L1-resident while it sweeps the chunk's row
 // strips. Edge tiles run the same microkernel into a scratch tile and
 // mask the writeback, so the hot path has no bounds branches.
-func gemmCore(m, n, k int, apacked, bpacked []float32, c []float32) {
+//
+// The epilogue is applied inside the final K panel's writeback — each C
+// element is finished exactly once, right after its last accumulation, so
+// the activation costs no extra memory pass.
+func gemmCore(m, n, k int, apacked, bpacked []float32, c []float32, epi Epilogue) {
 	mStrips := (m + MR - 1) / MR
 	nStrips := (n + NR - 1) / NR
 	mPad := mStrips * MR
@@ -82,11 +122,15 @@ func gemmCore(m, n, k int, apacked, bpacked []float32, c []float32) {
 			kc := minInt(KC, k-p0)
 			ap := apacked[mPad*p0:]
 			bp := bpacked[nPad*p0:]
+			panelEpi := Epilogue{}
+			if p0+kc == k {
+				panelEpi = epi
+			}
 			if serial {
-				gemmPanel(m, n, kc, ap, bp, c, 0, mStrips, jcLo, jcHi)
+				gemmPanel(m, n, kc, ap, bp, c, 0, mStrips, jcLo, jcHi, panelEpi)
 			} else {
 				tensor.ParallelRange(mStrips, MC/MR, func(lo, hi int) {
-					gemmPanel(m, n, kc, ap, bp, c, lo, hi, jcLo, jcHi)
+					gemmPanel(m, n, kc, ap, bp, c, lo, hi, jcLo, jcHi, panelEpi)
 				})
 			}
 		}
@@ -95,8 +139,10 @@ func gemmCore(m, n, k int, apacked, bpacked []float32, c []float32) {
 
 // gemmPanel runs one KC panel's macrokernel over the row strips
 // [loStrip, hiStrip) and the column strips [loJ, hiJ) (one NC block),
-// holding each NR-wide B strip L1-resident while it sweeps the rows.
-func gemmPanel(m, n, kc int, apacked, bpacked, c []float32, loStrip, hiStrip, loJ, hiJ int) {
+// holding each NR-wide B strip L1-resident while it sweeps the rows. A
+// non-empty epi (passed only for the final K panel) is applied to each C
+// tile right after its writeback.
+func gemmPanel(m, n, kc int, apacked, bpacked, c []float32, loStrip, hiStrip, loJ, hiJ int, epi Epilogue) {
 	// Edge tiles compute into this stack tile and mask the writeback. It
 	// must not escape — microKernel is a direct-dispatch call chain whose
 	// pointer parameters provably don't leak (see micro.go), so taking
@@ -112,6 +158,11 @@ func gemmPanel(m, n, kc int, apacked, bpacked, c []float32, loStrip, hiStrip, lo
 			rows := minInt(MR, m-i0)
 			if rows == MR && cols == NR {
 				microKernel(kc, &as[0], &bs[0], &c[i0*n+j0], n)
+				if !epi.None() {
+					for i := 0; i < MR; i++ {
+						epi.Apply(c[(i0+i)*n+j0 : (i0+i)*n+j0+NR])
+					}
+				}
 				continue
 			}
 			clear(tmp[:])
@@ -121,6 +172,11 @@ func gemmPanel(m, n, kc int, apacked, bpacked, c []float32, loStrip, hiStrip, lo
 				tr := tmp[i*NR : i*NR+cols]
 				for j, v := range tr {
 					cr[j] += v
+				}
+			}
+			if !epi.None() {
+				for i := 0; i < rows; i++ {
+					epi.Apply(c[(i0+i)*n+j0 : (i0+i)*n+j0+cols])
 				}
 			}
 		}

@@ -1,0 +1,47 @@
+package memplan
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestCanWriteInPlace pins the liveness proof behind in-place elementwise
+// execution: single-use managed first inputs qualify; feeds, multi-use
+// values, and double consumption (Add(x, x)) do not.
+func TestCanWriteInPlace(t *testing.T) {
+	g := graph.New("ip")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}}
+	g.AddInitializer("w", tensor.Zeros(4, 4))
+	g.AddNode("mm", "MatMul", []string{"x", "w"}, []string{"v1"}, nil)
+	g.AddNode("r1", "Relu", []string{"v1"}, []string{"v2"}, nil)      // v1: single use → in place
+	g.AddNode("sq", "Add", []string{"v2", "v2"}, []string{"v3"}, nil) // v2 consumed twice → not
+	g.AddNode("t1", "Tanh", []string{"v3"}, []string{"v4"}, nil)
+	g.AddNode("t2", "Sigmoid", []string{"v3"}, []string{"v5"}, nil) // v3 multi-consumer → not
+	g.AddNode("fin", "Add", []string{"v4", "v5"}, []string{"out"}, nil)
+	g.AddNode("feedrelu", "Relu", []string{"x"}, []string{"v6"}, nil) // feed input → not managed
+	g.AddNode("sink", "Add", []string{"out", "v6"}, []string{"final"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "final"}}
+	g.Reindex()
+
+	p, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"mm":       false, // x is a feed (unmanaged)
+		"r1":       true,
+		"sq":       false, // v2 appears twice on the node
+		"t1":       false, // v3 has two consumers
+		"t2":       false,
+		"fin":      true, // v4's only use
+		"feedrelu": false,
+		"sink":     true, // out is managed ("final" is the graph output)
+	}
+	for node, w := range want {
+		if got := p.CanWriteInPlace(node); got != w {
+			t.Errorf("CanWriteInPlace(%s) = %v, want %v", node, got, w)
+		}
+	}
+}

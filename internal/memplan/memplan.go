@@ -66,6 +66,13 @@ type Plan struct {
 	// pinned counts produced values excluded from management because they
 	// are graph outputs.
 	pinned int
+	// consumesIn0 names the nodes whose first input is provably dead the
+	// moment the node completes (managed, exactly one consuming occurrence
+	// globally — this node's), and that produce exactly one output. Such a
+	// node may write its output into the input's buffer; the executor
+	// combines this liveness proof with the kernel layer's capability check
+	// (ops.CanRunInPlace) to run elementwise glue in place.
+	consumesIn0 map[string]bool
 }
 
 // Build computes the memory plan for a graph partitioned into lanes. The
@@ -129,9 +136,30 @@ func Build(g *graph.Graph, lanes [][]*graph.Node) (*Plan, error) {
 		}
 	}
 
+	// Pass 3: in-place eligibility. A node may overwrite its first input
+	// when that value is managed and this node's single consumption is the
+	// value's only use anywhere (uses == 1 also rules out the value
+	// appearing twice on this node, as in Add(x, x) — the kernel would
+	// read elements it already overwrote).
+	p.consumesIn0 = map[string]bool{}
+	for _, n := range order {
+		if len(n.Inputs) == 0 || len(n.Outputs) != 1 {
+			continue
+		}
+		if i, ok := p.index[n.Inputs[0]]; ok && p.uses[i] == 1 {
+			p.consumesIn0[n.Name] = true
+		}
+	}
+
 	p.assignSlots(order, g)
 	return p, nil
 }
+
+// CanWriteInPlace reports whether the named node may write its output into
+// its first input's buffer: the input is a managed value whose only use
+// anywhere is this node's single consumption of it, so the buffer is dead
+// the instant the node completes and ownership can transfer to the output.
+func (p *Plan) CanWriteInPlace(node string) bool { return p.consumesIn0[node] }
 
 // assignSlots maps values to reuse slots by linear scan over the schedule:
 // at each node, outputs claim slots while the node's dying inputs release

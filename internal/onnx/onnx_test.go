@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/models"
+	"repro/internal/passes"
 )
 
 func TestRoundTripSqueezenet(t *testing.T) {
@@ -157,5 +158,52 @@ func TestModelMetadata(t *testing.T) {
 	}
 	if m.Graph.Name != "squeezenet" {
 		t.Errorf("graph name %q", m.Graph.Name)
+	}
+}
+
+// TestRoundTripFusedGraph pins that the fusion pass's node encodings —
+// FusedElementwise stage attrs ([]int / []float32 / "|"-joined string) and
+// writeback-epilogue attrs — survive the JSON round trip: the reloaded
+// graph must execute to the same outputs.
+func TestRoundTripFusedGraph(t *testing.T) {
+	g := models.MustBuild("yolo_v5", models.Config{ImageSize: 16})
+	if _, err := passes.Fuse(g); err != nil {
+		t.Fatal(err)
+	}
+	feeds := models.RandomInputs(g, 5)
+	want, err := exec.RunSequential(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, n := range g.Nodes {
+		if n.OpType == "FusedElementwise" {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Fatal("fusion produced no FusedElementwise nodes in yolo_v5")
+	}
+
+	data, err := Marshal(FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m2.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.RunSequential(g2, feeds)
+	if err != nil {
+		t.Fatalf("reloaded fused graph failed to run: %v", err)
+	}
+	for k, w := range want {
+		if !got[k].AllClose(w, 1e-6, 1e-7) {
+			t.Errorf("output %s diverges after round trip", k)
+		}
 	}
 }

@@ -66,19 +66,29 @@ func convPacked(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator, pw []*kern
 	if oh <= 0 || ow <= 0 {
 		return nil, argErr("Conv", "non-positive output size %dx%d from input %v kernel %dx%d", oh, ow, xs, kh, kw)
 	}
+	// Fused writeback activation (passes.AttachEpilogues): applied inside
+	// the GEMM writeback while each C tile is cache-hot, so Conv→BN→Relu
+	// is exactly one kernel invocation after BN folding.
+	epi := epilogueOf(attrs)
 	mPerG := m / groups
 	if !convGEMMWorthy(mPerG, cg, kh, kw) {
-		return convDirect(x, w, bias, a, groups, sh, sw, pt, pl, oh, ow)
+		return convDirect(x, w, bias, a, groups, sh, sw, pt, pl, oh, ow, epi)
 	}
 
-	out := tensor.ZerosIn(a, n, m, oh, ow)
+	// The blocked kernel accumulates (C +=), so the output must be seeded:
+	// with the bias when there is one — riding along with no extra pass —
+	// which also means every element is written here and the zero fill of
+	// a fresh/recycled buffer can be skipped entirely.
+	var out *tensor.Tensor
+	if bias != nil {
+		out = tensor.New(tensor.Shape{n, m, oh, ow}, tensor.AllocUninit(a, n*m*oh*ow))
+	} else {
+		out = tensor.ZerosIn(a, n, m, oh, ow)
+	}
 	xd, wdata, od := x.Data(), w.Data(), out.Data()
 	colK := cg * kh * kw
 	colN := oh * ow
 
-	// Seed the output with the bias before the GEMMs: the blocked kernel
-	// accumulates (C +=), so the bias rides along with no extra pass and
-	// no per-call closure.
 	if bias != nil {
 		bd := bias.Data()
 		for idx := 0; idx < n*m; idx++ {
@@ -106,10 +116,10 @@ func convPacked(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator, pw []*kern
 			}
 			cSlice := od[(b*m+g*mPerG)*colN : (b*m+(g+1)*mPerG)*colN]
 			if pw != nil {
-				kernels.GemmPackedA(pw[g], colN, colMat, colN, false, cSlice, a)
+				kernels.GemmPackedAEpi(pw[g], colN, colMat, colN, false, cSlice, a, epi)
 			} else {
 				wg := wdata[g*mPerG*colK : (g+1)*mPerG*colK]
-				kernels.Gemm(1, mPerG, colN, colK, wg, colK, false, colMat, colN, false, cSlice, a)
+				kernels.GemmEpi(1, mPerG, colN, colK, wg, colK, false, colMat, colN, false, cSlice, a, epi)
 			}
 		}
 	}
@@ -122,7 +132,7 @@ func convPacked(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator, pw []*kern
 // path for shapes where a per-group GEMM would degenerate (depthwise).
 // Work is parallelized across (batch, outChannel) pairs, the same axis
 // PyTorch's OpenMP loops use.
-func convDirect(x, w, bias *tensor.Tensor, a tensor.Allocator, groups, sh, sw, pt, pl, oh, ow int) ([]*tensor.Tensor, error) {
+func convDirect(x, w, bias *tensor.Tensor, a tensor.Allocator, groups, sh, sw, pt, pl, oh, ow int, epi kernels.Epilogue) ([]*tensor.Tensor, error) {
 	xs, ws := x.Shape(), w.Shape()
 	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
 	m, cg, kh, kw := ws[0], ws[1], ws[2], ws[3]
@@ -168,6 +178,9 @@ func convDirect(x, w, bias *tensor.Tensor, a tensor.Allocator, groups, sh, sw, p
 				od[oBase+oy*ow+ox] = acc
 			}
 		}
+		// One cache-hot sweep per output plane; a no-op when unfused, so
+		// the accumulator store above stays free of per-element dispatch.
+		epi.Apply(od[oBase : oBase+oh*ow])
 	})
 	return []*tensor.Tensor{out}, nil
 }

@@ -3,6 +3,7 @@ package ops
 import (
 	"testing"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
@@ -49,7 +50,7 @@ func BenchmarkConvDirect(b *testing.B) {
 	ow := convOutDim(x.Shape()[3], w.Shape()[3], sw, pl, pr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := convDirect(x, w, bias, nil, 1, sh, sw, pt, pl, oh, ow); err != nil {
+		if _, err := convDirect(x, w, bias, nil, 1, sh, sw, pt, pl, oh, ow, kernels.Epilogue{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,7 +6,170 @@ import (
 	"repro/internal/tensor"
 )
 
-// unary builds an AllocKernel applying f element-wise.
+// The elementwise kernels in this file are the memory-bound glue between
+// the GEMM-shaped heavy ops. They run as specialized slice loops — no
+// per-element function pointer — and the same loops back the fused-chain
+// kernel (fused.go) and the executor's in-place path (inplace.go), so
+// every way an activation can execute computes bit-identical values.
+
+// uninitLike allocates an output tensor with t's shape whose contents the
+// caller fully overwrites, skipping the zero fill a recycled arena buffer
+// would otherwise pay.
+func uninitLike(a tensor.Allocator, t *tensor.Tensor) *tensor.Tensor {
+	return tensor.New(t.Shape(), tensor.AllocUninit(a, t.Numel()))
+}
+
+// Specialized unary slice loops. dst and src must be index-aligned and may
+// alias (dst == src is the in-place path).
+
+func reluLoop(dst, src []float32) {
+	// max keeps the loop branchless: random-sign activations mispredict a
+	// comparison ~50% of the time, which dominates a memory-bound sweep.
+	for i, v := range src {
+		dst[i] = max(v, 0)
+	}
+}
+
+func leakyReluLoop(dst, src []float32, alpha float32) {
+	for i, v := range src {
+		if v < 0 {
+			v = alpha * v
+		}
+		dst[i] = v
+	}
+}
+
+func clipLoop(dst, src []float32, lo, hi float32) {
+	for i, v := range src {
+		dst[i] = min(max(v, lo), hi)
+	}
+}
+
+func sigmoidLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+func tanhLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+func expLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = float32(math.Exp(float64(v)))
+	}
+}
+
+func sqrtLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = float32(math.Sqrt(float64(v)))
+	}
+}
+
+func erfLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = float32(math.Erf(float64(v)))
+	}
+}
+
+func negLoop(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = -v
+	}
+}
+
+// Specialized binary slice loops; dst may alias a or b.
+
+func addLoop(dst, a, b []float32) {
+	for i, v := range a {
+		dst[i] = v + b[i]
+	}
+}
+
+func subLoop(dst, a, b []float32) {
+	for i, v := range a {
+		dst[i] = v - b[i]
+	}
+}
+
+func mulLoop(dst, a, b []float32) {
+	for i, v := range a {
+		dst[i] = v * b[i]
+	}
+}
+
+func divLoop(dst, a, b []float32) {
+	for i, v := range a {
+		dst[i] = v / b[i]
+	}
+}
+
+// Scalar-broadcast loops: one operand is a single value hoisted out of the
+// loop, so the sweep touches exactly one tensor.
+
+func addScalarLoop(dst, a []float32, s float32) {
+	for i, v := range a {
+		dst[i] = v + s
+	}
+}
+
+func subScalarLoop(dst, a []float32, s float32) {
+	for i, v := range a {
+		dst[i] = v - s
+	}
+}
+
+func rsubScalarLoop(dst []float32, s float32, b []float32) {
+	for i, v := range b {
+		dst[i] = s - v
+	}
+}
+
+func mulScalarLoop(dst, a []float32, s float32) {
+	for i, v := range a {
+		dst[i] = v * s
+	}
+}
+
+func divScalarLoop(dst, a []float32, s float32) {
+	for i, v := range a {
+		dst[i] = v / s
+	}
+}
+
+func rdivScalarLoop(dst []float32, s float32, b []float32) {
+	for i, v := range b {
+		dst[i] = s / v
+	}
+}
+
+// parallelUnary sweeps loop over index-aligned dst/src chunks across the
+// intra-op workers.
+func parallelUnary(loop func(dst, src []float32), dst, src []float32) {
+	tensor.ParallelRange(len(src), 4096, func(lo, hi int) {
+		loop(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// unaryLoop builds an AllocKernel around a specialized slice loop.
+func unaryLoop(op string, loop func(dst, src []float32)) AllocKernel {
+	return func(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+		if err := need(op, in, 1, 1); err != nil {
+			return nil, err
+		}
+		out := uninitLike(a, in[0])
+		parallelUnary(loop, out.Data(), in[0].Data())
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+// unary builds an AllocKernel applying f element-wise through a function
+// pointer. It is retained as the reference the devirtualized loops are
+// benchmarked against (BenchmarkReluIndirect) and as the builder for ops
+// whose per-element cost dwarfs the call (Pow).
 func unary(op string, f func(float32) float32) AllocKernel {
 	return func(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
 		if err := need(op, in, 1, 1); err != nil {
@@ -27,52 +190,37 @@ func unary(op string, f func(float32) float32) AllocKernel {
 // Relu is max(x, 0).
 var Relu = onHeap(reluK)
 
-var reluK = unary("Relu", func(v float32) float32 {
-	if v < 0 {
-		return 0
-	}
-	return v
-})
+var reluK = unaryLoop("Relu", reluLoop)
 
 // Sigmoid is 1/(1+exp(-x)).
 var Sigmoid = onHeap(sigmoidK)
 
-var sigmoidK = unary("Sigmoid", func(v float32) float32 {
-	return float32(1 / (1 + math.Exp(-float64(v))))
-})
+var sigmoidK = unaryLoop("Sigmoid", sigmoidLoop)
 
 // Tanh is the hyperbolic tangent.
 var Tanh = onHeap(tanhK)
 
-var tanhK = unary("Tanh", func(v float32) float32 {
-	return float32(math.Tanh(float64(v)))
-})
+var tanhK = unaryLoop("Tanh", tanhLoop)
 
 // Exp is e^x.
 var Exp = onHeap(expK)
 
-var expK = unary("Exp", func(v float32) float32 {
-	return float32(math.Exp(float64(v)))
-})
+var expK = unaryLoop("Exp", expLoop)
 
 // Sqrt is the square root (NaN for negative inputs, as ONNX).
 var Sqrt = onHeap(sqrtK)
 
-var sqrtK = unary("Sqrt", func(v float32) float32 {
-	return float32(math.Sqrt(float64(v)))
-})
+var sqrtK = unaryLoop("Sqrt", sqrtLoop)
 
 // Erf is the Gauss error function, the primitive BERT's GELU decomposes to.
 var Erf = onHeap(erfK)
 
-var erfK = unary("Erf", func(v float32) float32 {
-	return float32(math.Erf(float64(v)))
-})
+var erfK = unaryLoop("Erf", erfLoop)
 
 // Neg is -x.
 var Neg = onHeap(negK)
 
-var negK = unary("Neg", func(v float32) float32 { return -v })
+var negK = unaryLoop("Neg", negLoop)
 
 // Identity passes its single input through unchanged (copied, so downstream
 // mutation hazards cannot arise).
@@ -89,34 +237,143 @@ func identityK(in []*tensor.Tensor, _ Attrs, a tensor.Allocator) ([]*tensor.Tens
 var LeakyRelu = onHeap(leakyReluK)
 
 func leakyReluK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	if err := need("LeakyRelu", in, 1, 1); err != nil {
+		return nil, err
+	}
 	alpha := float32(attrs.Float("alpha", 0.01))
-	return unary("LeakyRelu", func(v float32) float32 {
-		if v < 0 {
-			return alpha * v
-		}
-		return v
-	})(in, attrs, a)
+	out := uninitLike(a, in[0])
+	od, xd := out.Data(), in[0].Data()
+	tensor.ParallelRange(len(xd), 4096, func(lo, hi int) {
+		leakyReluLoop(od[lo:hi], xd[lo:hi], alpha)
+	})
+	return []*tensor.Tensor{out}, nil
 }
 
 // Clip bounds x to [min, max] given as attributes (ONNX opset-6 style).
 var Clip = onHeap(clipK)
 
 func clipK(in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	if err := need("Clip", in, 1, 1); err != nil {
+		return nil, err
+	}
 	lo := float32(attrs.Float("min", -math.MaxFloat32))
 	hi := float32(attrs.Float("max", math.MaxFloat32))
-	return unary("Clip", func(v float32) float32 {
-		if v < lo {
-			return lo
+	out := uninitLike(a, in[0])
+	od, xd := out.Data(), in[0].Data()
+	tensor.ParallelRange(len(xd), 4096, func(l, h int) {
+		clipLoop(od[l:h], xd[l:h], lo, hi)
+	})
+	return []*tensor.Tensor{out}, nil
+}
+
+// binaryLoops bundles the specialized sweeps of one binary operator: the
+// same-layout vector form, both scalar-broadcast forms, and the generic
+// per-element function for the stride-walking broadcast fallback.
+type binaryLoops struct {
+	vec func(dst, a, b []float32)
+	vs  func(dst, a []float32, s float32) // b is a single value
+	sv  func(dst []float32, s float32, b []float32)
+	f   func(a, b float32) float32
+}
+
+var addLoops = binaryLoops{addLoop, addScalarLoop,
+	func(dst []float32, s float32, b []float32) { addScalarLoop(dst, b, s) },
+	func(a, b float32) float32 { return a + b }}
+
+var subLoops = binaryLoops{subLoop, subScalarLoop, rsubScalarLoop,
+	func(a, b float32) float32 { return a - b }}
+
+var mulLoops = binaryLoops{mulLoop, mulScalarLoop,
+	func(dst []float32, s float32, b []float32) { mulScalarLoop(dst, b, s) },
+	func(a, b float32) float32 { return a * b }}
+
+var divLoops = binaryLoops{divLoop, divScalarLoop, rdivScalarLoop,
+	func(a, b float32) float32 { return a / b }}
+
+// binaryFast builds an AllocKernel with NumPy broadcasting that picks the
+// cheapest sweep available: identical shapes and broadcasts that do not
+// replicate any element (mixed ranks differing only in leading 1-dims) run
+// the flat vector loop; scalar operands run a hoisted-scalar loop; only
+// genuine element replication pays the per-element stride index math.
+func binaryFast(op string, loops binaryLoops) AllocKernel {
+	return func(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
+		if err := need(op, in, 2, 2); err != nil {
+			return nil, err
 		}
-		if v > hi {
-			return hi
+		a, b := in[0], in[1]
+		as, bs := a.Shape(), b.Shape()
+		if as.Equal(bs) { // identical shapes: one flat sweep
+			out := uninitLike(alc, a)
+			ad, bd, od := a.Data(), b.Data(), out.Data()
+			tensor.ParallelRange(len(od), 4096, func(lo, hi int) {
+				loops.vec(od[lo:hi], ad[lo:hi], bd[lo:hi])
+			})
+			return []*tensor.Tensor{out}, nil
 		}
-		return v
-	})(in, attrs, a)
+		os, err := tensor.Broadcast(as, bs)
+		if err != nil {
+			return nil, argErr(op, "%v", err)
+		}
+		n := os.Numel()
+		ad, bd := a.Data(), b.Data()
+		switch {
+		case len(bd) == 1 && len(ad) == n:
+			out := tensor.New(os, tensor.AllocUninit(alc, n))
+			od, s := out.Data(), bd[0]
+			tensor.ParallelRange(n, 4096, func(lo, hi int) {
+				loops.vs(od[lo:hi], ad[lo:hi], s)
+			})
+			return []*tensor.Tensor{out}, nil
+		case len(ad) == 1 && len(bd) == n:
+			out := tensor.New(os, tensor.AllocUninit(alc, n))
+			od, s := out.Data(), ad[0]
+			tensor.ParallelRange(n, 4096, func(lo, hi int) {
+				loops.sv(od[lo:hi], s, bd[lo:hi])
+			})
+			return []*tensor.Tensor{out}, nil
+		case len(ad) == n && len(bd) == n:
+			// Ranks differ only by leading 1-extents: row-major layouts
+			// coincide, so the flat vector loop is exact.
+			out := tensor.New(os, tensor.AllocUninit(alc, n))
+			od := out.Data()
+			tensor.ParallelRange(n, 4096, func(lo, hi int) {
+				loops.vec(od[lo:hi], ad[lo:hi], bd[lo:hi])
+			})
+			return []*tensor.Tensor{out}, nil
+		}
+		return broadcastStrided(op, loops.f, a, b, os, alc)
+	}
+}
+
+// broadcastStrided is the general broadcasting path: per-element stride
+// index math, reached only when the broadcast genuinely replicates data.
+func broadcastStrided(op string, f func(a, b float32) float32, a, b *tensor.Tensor, os tensor.Shape, alc tensor.Allocator) ([]*tensor.Tensor, error) {
+	out := tensor.ZerosIn(alc, os...)
+	od := out.Data()
+	oStrides := os.Strides()
+	aIdx := broadcastStrides(a.Shape(), os)
+	bIdx := broadcastStrides(b.Shape(), os)
+	ad, bd := a.Data(), b.Data()
+	n := len(od)
+	tensor.ParallelRange(n, 1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai, bi := 0, 0
+			rem := i
+			for d := 0; d < len(os); d++ {
+				pos := rem / oStrides[d]
+				rem %= oStrides[d]
+				ai += pos * aIdx[d]
+				bi += pos * bIdx[d]
+			}
+			od[i] = f(ad[ai], bd[bi])
+		}
+	})
+	return []*tensor.Tensor{out}, nil
 }
 
 // binary builds an AllocKernel applying f element-wise with NumPy
-// broadcasting.
+// broadcasting through a function pointer — the reference form retained
+// for Pow and the devirtualization micro-benchmarks.
 func binary(op string, f func(a, b float32) float32) AllocKernel {
 	return func(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator) ([]*tensor.Tensor, error) {
 		if err := need(op, in, 2, 2); err != nil {
@@ -138,27 +395,7 @@ func binary(op string, f func(a, b float32) float32) AllocKernel {
 		if err != nil {
 			return nil, argErr(op, "%v", err)
 		}
-		out := tensor.ZerosIn(alc, os...)
-		od := out.Data()
-		oStrides := os.Strides()
-		aIdx := broadcastStrides(as, os)
-		bIdx := broadcastStrides(bs, os)
-		ad, bd := a.Data(), b.Data()
-		n := len(od)
-		tensor.ParallelRange(n, 1024, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ai, bi := 0, 0
-				rem := i
-				for d := 0; d < len(os); d++ {
-					pos := rem / oStrides[d]
-					rem %= oStrides[d]
-					ai += pos * aIdx[d]
-					bi += pos * bIdx[d]
-				}
-				od[i] = f(ad[ai], bd[bi])
-			}
-		})
-		return []*tensor.Tensor{out}, nil
+		return broadcastStrided(op, f, a, b, os, alc)
 	}
 }
 
@@ -186,24 +423,25 @@ func broadcastStrides(s, out tensor.Shape) []int {
 // Add is element-wise a+b with broadcasting.
 var Add = onHeap(addK)
 
-var addK = binary("Add", func(a, b float32) float32 { return a + b })
+var addK = binaryFast("Add", addLoops)
 
 // Sub is element-wise a-b with broadcasting.
 var Sub = onHeap(subK)
 
-var subK = binary("Sub", func(a, b float32) float32 { return a - b })
+var subK = binaryFast("Sub", subLoops)
 
 // Mul is element-wise a*b with broadcasting.
 var Mul = onHeap(mulK)
 
-var mulK = binary("Mul", func(a, b float32) float32 { return a * b })
+var mulK = binaryFast("Mul", mulLoops)
 
 // Div is element-wise a/b with broadcasting.
 var Div = onHeap(divK)
 
-var divK = binary("Div", func(a, b float32) float32 { return a / b })
+var divK = binaryFast("Div", divLoops)
 
-// Pow is element-wise a^b with broadcasting.
+// Pow is element-wise a^b with broadcasting. The math.Pow call dominates,
+// so it keeps the function-pointer builder.
 var Pow = onHeap(powK)
 
 var powK = binary("Pow", func(a, b float32) float32 {

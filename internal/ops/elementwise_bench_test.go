@@ -1,0 +1,113 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Devirtualization micro-benchmarks: the specialized slice loops
+// (BenchmarkReluDirect, BenchmarkAddDirect, …) against the retained
+// function-pointer builders (…Indirect) they replaced, on a serving-sized
+// activation map. The Indirect forms are the "before" in the PR that
+// removed per-element func(float32) float32 dispatch from the hot path.
+
+const benchElems = 1 << 16 // 256 KiB tensor: memory-bound, like real glue ops
+
+var (
+	reluIndirectK = unary("Relu", func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	addIndirectK = binary("Add", func(a, b float32) float32 { return a + b })
+	mulIndirectK = binary("Mul", func(a, b float32) float32 { return a * b })
+	subIndirectK = binary("Sub", func(a, b float32) float32 { return a - b })
+)
+
+func benchUnary(b *testing.B, k AllocKernel) {
+	b.Helper()
+	r := tensor.NewRNG(1)
+	x := r.RandTensor(benchElems)
+	in := []*tensor.Tensor{x}
+	b.SetBytes(4 * benchElems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k(in, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBinary(b *testing.B, k AllocKernel) {
+	b.Helper()
+	r := tensor.NewRNG(2)
+	x := r.RandTensor(benchElems)
+	y := r.RandTensor(benchElems)
+	in := []*tensor.Tensor{x, y}
+	b.SetBytes(4 * benchElems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k(in, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReluDirect(b *testing.B)   { benchUnary(b, reluK) }
+func BenchmarkReluIndirect(b *testing.B) { benchUnary(b, reluIndirectK) }
+func BenchmarkAddDirect(b *testing.B)    { benchBinary(b, addK) }
+func BenchmarkAddIndirect(b *testing.B)  { benchBinary(b, addIndirectK) }
+func BenchmarkMulDirect(b *testing.B)    { benchBinary(b, mulK) }
+func BenchmarkMulIndirect(b *testing.B)  { benchBinary(b, mulIndirectK) }
+func BenchmarkSubDirect(b *testing.B)    { benchBinary(b, subK) }
+func BenchmarkSubIndirect(b *testing.B)  { benchBinary(b, subIndirectK) }
+
+// BenchmarkFusedElementwiseChain measures a four-stage activation chain
+// (Add→Relu→Mul(scalar)→Clip) as one FusedElementwise invocation against
+// the same chain as four registry kernel calls — the per-chain win the
+// graph fusion pass banks every time it collapses a chain.
+func BenchmarkFusedElementwiseChain(b *testing.B) {
+	r := tensor.NewRNG(3)
+	x := r.RandTensor(benchElems)
+	same := r.RandTensor(benchElems)
+	in := []*tensor.Tensor{x, same}
+	attrs := FusedStageAttrs(nil, "Add", nil, 1, false)
+	attrs = FusedStageAttrs(attrs, "Relu", nil, -1, false)
+	attrs = FusedStageAttrs(attrs, "Mul", Attrs{}, 2, false)
+	in = append(in, tensor.Scalar(0.5))
+	attrs = FusedStageAttrs(attrs, "Clip", Attrs{"min": -1.0, "max": 1.0}, -1, false)
+	b.SetBytes(4 * benchElems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fusedElementwiseK(in, attrs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnfusedElementwiseChain(b *testing.B) {
+	r := tensor.NewRNG(3)
+	x := r.RandTensor(benchElems)
+	same := r.RandTensor(benchElems)
+	half := tensor.Scalar(0.5)
+	clipAttrs := Attrs{"min": -1.0, "max": 1.0}
+	b.SetBytes(4 * benchElems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := addK([]*tensor.Tensor{x, same}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, err = reluK(v, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		if v, err = mulK([]*tensor.Tensor{v[0], half}, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err = clipK(v, clipAttrs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package ops
+
+import (
+	"math"
+
+	"repro/internal/kernels"
+)
+
+// Writeback-epilogue attributes: the fusion pass (internal/passes) records
+// a GEMM-shaped node's absorbed activation under these keys, and the
+// Conv/Gemm/MatMul kernels apply it during the packed-C writeback
+// (kernels.Epilogue) — the activation costs no extra memory pass.
+const (
+	AttrEpilogueOp    = "epi_op"
+	AttrEpilogueAlpha = "epi_alpha"
+	AttrEpilogueMin   = "epi_min"
+	AttrEpilogueMax   = "epi_max"
+)
+
+// EpilogueAttrs encodes the activation node (opType, attrs) as epilogue
+// attributes to merge into a Conv/Gemm/MatMul node, or nil when the
+// activation cannot ride a GEMM writeback. Only activations that depend on
+// nothing but the finished accumulator qualify.
+func EpilogueAttrs(opType string, attrs Attrs) Attrs {
+	switch opType {
+	case "Relu":
+		return Attrs{AttrEpilogueOp: "Relu"}
+	case "LeakyRelu":
+		return Attrs{AttrEpilogueOp: "LeakyRelu", AttrEpilogueAlpha: attrs.Float("alpha", 0.01)}
+	case "Clip":
+		return Attrs{
+			AttrEpilogueOp:  "Clip",
+			AttrEpilogueMin: attrs.Float("min", -math.MaxFloat32),
+			AttrEpilogueMax: attrs.Float("max", math.MaxFloat32),
+		}
+	}
+	return nil
+}
+
+// epilogueOf decodes a node's fused writeback activation; the zero
+// Epilogue (a plain writeback) when none is recorded.
+func epilogueOf(attrs Attrs) kernels.Epilogue {
+	switch attrs.Str(AttrEpilogueOp, "") {
+	case "Relu":
+		return kernels.Epilogue{Kind: kernels.EpiRelu}
+	case "LeakyRelu":
+		return kernels.Epilogue{Kind: kernels.EpiLeakyRelu, Alpha: float32(attrs.Float(AttrEpilogueAlpha, 0.01))}
+	case "Clip":
+		return kernels.Epilogue{
+			Kind: kernels.EpiClip,
+			Lo:   float32(attrs.Float(AttrEpilogueMin, -math.MaxFloat32)),
+			Hi:   float32(attrs.Float(AttrEpilogueMax, math.MaxFloat32)),
+		}
+	}
+	return kernels.Epilogue{}
+}

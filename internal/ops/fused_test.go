@@ -1,0 +1,295 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// chainRef runs the stage ops through the ordinary registry kernels, one
+// node at a time — the semantics FusedElementwise must reproduce.
+func chainRef(t *testing.T, x *tensor.Tensor, steps []struct {
+	op    string
+	attrs Attrs
+	extra *tensor.Tensor
+	swap  bool
+}) *tensor.Tensor {
+	t.Helper()
+	cur := x
+	for _, s := range steps {
+		k, err := Lookup(s.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := []*tensor.Tensor{cur}
+		if s.extra != nil {
+			if s.swap {
+				in = []*tensor.Tensor{s.extra, cur}
+			} else {
+				in = []*tensor.Tensor{cur, s.extra}
+			}
+		}
+		outs, err := k(in, s.attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = outs[0]
+	}
+	return cur
+}
+
+// buildFused assembles the FusedElementwise inputs and attrs for the steps.
+func buildFused(steps []struct {
+	op    string
+	attrs Attrs
+	extra *tensor.Tensor
+	swap  bool
+}, x *tensor.Tensor) ([]*tensor.Tensor, Attrs) {
+	in := []*tensor.Tensor{x}
+	var acc Attrs
+	for _, s := range steps {
+		arg := -1
+		if s.extra != nil {
+			in = append(in, s.extra)
+			arg = len(in) - 1
+		}
+		acc = FusedStageAttrs(acc, s.op, s.attrs, arg, s.swap)
+	}
+	return in, acc
+}
+
+type chainStep = struct {
+	op    string
+	attrs Attrs
+	extra *tensor.Tensor
+	swap  bool
+}
+
+func TestFusedChainMatchesUnfused(t *testing.T) {
+	r := tensor.NewRNG(21)
+	x := r.RandTensor(2, 3, 5, 7)
+	same := r.RandTensor(2, 3, 5, 7)
+	steps := []chainStep{
+		{op: "Add", extra: same},
+		{op: "Relu"},
+		{op: "Mul", extra: tensor.Scalar(0.5)},
+		{op: "LeakyRelu", attrs: Attrs{"alpha": 0.2}},
+		{op: "Tanh"},
+		{op: "Clip", attrs: Attrs{"min": -0.4, "max": 0.4}},
+		{op: "Sigmoid"},
+	}
+	want := chainRef(t, x, steps)
+	in, attrs := buildFused(steps, x)
+	got, err := FusedElementwise(in, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Shape().Equal(want.Shape()) {
+		t.Fatalf("shape %v, want %v", got[0].Shape(), want.Shape())
+	}
+	if !got[0].AllClose(want, 1e-6, 1e-7) {
+		t.Fatalf("fused chain diverges: max diff %v", got[0].MaxAbsDiff(want))
+	}
+}
+
+func TestFusedSwappedSubDiv(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := r.RandTensor(4, 9)
+	e := r.RandTensor(4, 9)
+	steps := []chainStep{
+		{op: "Sub", extra: e, swap: true},                // e - x
+		{op: "Div", extra: tensor.Scalar(2), swap: true}, // 2 / v
+	}
+	want := chainRef(t, x, steps)
+	in, attrs := buildFused(steps, x)
+	got, err := FusedElementwise(in, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].AllClose(want, 1e-6, 1e-7) {
+		t.Fatal("swapped Sub/Div chain diverges")
+	}
+}
+
+// TestFusedBroadcastFallback drives a chain containing a genuinely
+// broadcasting stage (channel bias against an NCHW map): the kernel must
+// fall back stage-wise and still match the unfused result, including the
+// broadcast output shape.
+func TestFusedBroadcastFallback(t *testing.T) {
+	r := tensor.NewRNG(9)
+	x := r.RandTensor(2, 3, 4, 4)
+	bias := tensor.New(tensor.Shape{1, 3, 1, 1}, []float32{1, -2, 3})
+	steps := []chainStep{
+		{op: "Relu"},
+		{op: "Add", extra: bias},
+		{op: "Mul", extra: tensor.Scalar(2)},
+	}
+	want := chainRef(t, x, steps)
+	in, attrs := buildFused(steps, x)
+	got, err := FusedElementwise(in, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Shape().Equal(want.Shape()) {
+		t.Fatalf("shape %v, want %v", got[0].Shape(), want.Shape())
+	}
+	if !got[0].AllClose(want, 1e-6, 1e-7) {
+		t.Fatal("broadcast-fallback chain diverges")
+	}
+}
+
+// TestFusedOutputNeverAliasesInput pins the kernel contract the memory
+// planner relies on: the registry path allocates a fresh output.
+func TestFusedOutputNeverAliasesInput(t *testing.T) {
+	x := tensor.FromSlice([]float32{-1, 2})
+	in, attrs := buildFused([]chainStep{{op: "Relu"}, {op: "Tanh"}}, x)
+	got, err := FusedElementwise(in, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0].Data()[0] == &x.Data()[0] {
+		t.Fatal("registry FusedElementwise aliased its input")
+	}
+	if x.Data()[0] != -1 || x.Data()[1] != 2 {
+		t.Fatal("registry FusedElementwise mutated its input")
+	}
+}
+
+func TestFusedRejectsBadEncoding(t *testing.T) {
+	x := tensor.FromSlice([]float32{1})
+	if _, err := FusedElementwise([]*tensor.Tensor{x}, Attrs{}); err == nil {
+		t.Error("missing fe_ops accepted")
+	}
+	// Binary stage referencing an input index that does not exist.
+	attrs := FusedStageAttrs(nil, "Add", nil, 3, false)
+	attrs = FusedStageAttrs(attrs, "Relu", nil, -1, false)
+	if _, err := FusedElementwise([]*tensor.Tensor{x}, attrs); err == nil {
+		t.Error("out-of-range fe_args accepted")
+	}
+}
+
+// TestPrepackedFusedMatchesRegistry covers the plan-cached stage program:
+// PrepackWeights decodes once, RunPrepacked/RunPrepackedInPlace execute
+// from the decoded form and must match the attr-parsing registry kernel.
+func TestPrepackedFusedMatchesRegistry(t *testing.T) {
+	r := tensor.NewRNG(23)
+	x := r.RandTensor(3, 11)
+	same := r.RandTensor(3, 11)
+	steps := []chainStep{{op: "Add", extra: same}, {op: "Relu"}, {op: "Tanh"}}
+	in, attrs := buildFused(steps, x)
+
+	pp := PrepackWeights("FusedElementwise", attrs, make([]*tensor.Tensor, len(in)))
+	if pp == nil {
+		t.Fatal("PrepackWeights returned nil for a valid FusedElementwise node")
+	}
+	if pp.HasWeights() {
+		t.Error("stage program reported as weight-bearing")
+	}
+	want, err := FusedElementwise(in, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPrepacked("FusedElementwise", in, attrs, nil, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].AllClose(want[0], 1e-7, 1e-8) {
+		t.Fatal("prepacked fused execution diverges")
+	}
+	gotIP, err := RunPrepackedInPlace("FusedElementwise", in, attrs, nil, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotIP[0].AllClose(want[0], 1e-7, 1e-8) {
+		t.Fatal("prepacked in-place fused execution diverges")
+	}
+	if &gotIP[0].Data()[0] != &x.Data()[0] {
+		t.Fatal("prepacked in-place execution did not reuse the input buffer")
+	}
+}
+
+func TestRunInPlaceUnaryMatchesAndAliases(t *testing.T) {
+	r := tensor.NewRNG(31)
+	for _, tc := range []struct {
+		op    string
+		attrs Attrs
+	}{
+		{"Relu", nil},
+		{"LeakyRelu", Attrs{"alpha": 0.3}},
+		{"Sigmoid", nil},
+		{"Tanh", nil},
+		{"Exp", nil},
+		{"Erf", nil},
+		{"Neg", nil},
+		{"Clip", Attrs{"min": -0.5, "max": 0.5}},
+		{"Identity", nil},
+	} {
+		if !CanRunInPlace(tc.op) {
+			t.Fatalf("%s not in-place capable", tc.op)
+		}
+		x := r.RandTensor(3, 17)
+		k, err := Lookup(tc.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := k([]*tensor.Tensor{x.Clone()}, tc.attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunInPlace(tc.op, []*tensor.Tensor{x}, tc.attrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[0].AllClose(want[0], 1e-7, 1e-8) {
+			t.Errorf("%s: in-place result diverges", tc.op)
+		}
+		if &got[0].Data()[0] != &x.Data()[0] {
+			t.Errorf("%s: in-place output does not share the input buffer", tc.op)
+		}
+	}
+}
+
+func TestRunInPlaceFusedSharesBuffer(t *testing.T) {
+	r := tensor.NewRNG(8)
+	x := r.RandTensor(2, 3, 4, 4)
+	same := r.RandTensor(2, 3, 4, 4)
+	steps := []chainStep{{op: "Add", extra: same}, {op: "Relu"}}
+	want := chainRef(t, x.Clone(), steps)
+	in, attrs := buildFused(steps, x)
+	got, err := RunInPlace("FusedElementwise", in, attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].AllClose(want, 1e-6, 1e-7) {
+		t.Fatal("in-place fused chain diverges")
+	}
+	if &got[0].Data()[0] != &x.Data()[0] {
+		t.Fatal("in-place fused chain did not reuse the input buffer")
+	}
+}
+
+// TestRunInPlaceFusedBroadcastReturnsBuffer checks the ownership-transfer
+// contract on the shape-changing fallback: the abandoned input buffer goes
+// back to the allocator instead of leaking out of the arena accounting.
+func TestRunInPlaceFusedBroadcastReturnsBuffer(t *testing.T) {
+	ar := tensor.NewArena()
+	r := tensor.NewRNG(13)
+	xHeap := r.RandTensor(2, 3, 4, 4)
+	bias := tensor.New(tensor.Shape{1, 3, 1, 1}, []float32{1, -2, 3})
+	steps := []chainStep{{op: "Relu"}, {op: "Add", extra: bias}}
+	want := chainRef(t, xHeap.Clone(), steps)
+
+	x := xHeap.CloneIn(ar) // arena-owned input, as in a real run
+	in, attrs := buildFused(steps, x)
+	putsBefore := ar.Stats().Snapshot().Puts
+	got, err := RunInPlace("FusedElementwise", in, attrs, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].AllClose(want, 1e-6, 1e-7) {
+		t.Fatal("broadcast in-place chain diverges")
+	}
+	if puts := ar.Stats().Snapshot().Puts; puts <= putsBefore {
+		t.Error("abandoned input buffer was not returned to the arena")
+	}
+}

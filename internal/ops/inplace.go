@@ -1,0 +1,96 @@
+package ops
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// In-place elementwise execution: when the memory planner proves a node's
+// first input is dead the moment the node completes (single static use,
+// single occurrence — see memplan.Plan.CanWriteInPlace), the executor may
+// run these ops writing into the input's buffer instead of allocating an
+// output, cutting one full tensor of arena traffic per node. All the loops
+// used here are index-aligned (element i is read before element i is
+// written), so aliasing dst == src is exact.
+
+// inPlaceOps lists the op types RunInPlace implements. Only single-output
+// elementwise ops whose output shape always equals their first input's
+// shape qualify; FusedElementwise handles its own shape-changing fallback
+// by transferring the buffer back to the allocator.
+var inPlaceOps = map[string]bool{
+	"Relu":             true,
+	"LeakyRelu":        true,
+	"Sigmoid":          true,
+	"Tanh":             true,
+	"Exp":              true,
+	"Sqrt":             true,
+	"Erf":              true,
+	"Neg":              true,
+	"Clip":             true,
+	"Identity":         true,
+	"FusedElementwise": true,
+}
+
+// CanRunInPlace reports whether RunInPlace implements the op type. The
+// executor combines this with the memory plan's liveness proof; neither
+// alone is sufficient.
+func CanRunInPlace(opType string) bool { return inPlaceOps[opType] }
+
+// RunInPlace executes an in-place-capable node, consuming in[0]'s storage:
+// the returned tensor either shares that storage or (FusedElementwise
+// shape-changing fallback) the storage has already been returned to a. The
+// caller must hold the only reference to in[0]'s value and must not
+// release it afterwards — ownership transfers to the returned output.
+func RunInPlace(opType string, in []*tensor.Tensor, attrs Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+	if opType == "FusedElementwise" {
+		if err := need(opType, in, 1, -1); err != nil {
+			return nil, err
+		}
+		stages, err := parseFused(attrs, len(in))
+		if err != nil {
+			return nil, err
+		}
+		out, err := runFused(in, stages, a, true)
+		if err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+	if err := need(opType, in, 1, 1); err != nil {
+		return nil, err
+	}
+	d := in[0].Data()
+	switch opType {
+	case "Relu":
+		parallelUnary(reluLoop, d, d)
+	case "LeakyRelu":
+		alpha := float32(attrs.Float("alpha", 0.01))
+		tensor.ParallelRange(len(d), 4096, func(lo, hi int) {
+			leakyReluLoop(d[lo:hi], d[lo:hi], alpha)
+		})
+	case "Sigmoid":
+		parallelUnary(sigmoidLoop, d, d)
+	case "Tanh":
+		parallelUnary(tanhLoop, d, d)
+	case "Exp":
+		parallelUnary(expLoop, d, d)
+	case "Sqrt":
+		parallelUnary(sqrtLoop, d, d)
+	case "Erf":
+		parallelUnary(erfLoop, d, d)
+	case "Neg":
+		parallelUnary(negLoop, d, d)
+	case "Clip":
+		lo := float32(attrs.Float("min", -math.MaxFloat32))
+		hi := float32(attrs.Float("max", math.MaxFloat32))
+		tensor.ParallelRange(len(d), 4096, func(l, h int) {
+			clipLoop(d[l:h], d[l:h], lo, hi)
+		})
+	case "Identity":
+		// The single-use proof makes the zero-copy pass-through safe.
+	default:
+		return nil, argErr(opType, "no in-place execution path")
+	}
+	return []*tensor.Tensor{tensor.New(in[0].Shape(), d)}, nil
+}

@@ -17,7 +17,7 @@ func matMulK(in []*tensor.Tensor, attrs Attrs, a2 tensor.Allocator) ([]*tensor.T
 
 // matMulPacked is the shared kernel body; pb is non-nil when the graph's
 // right operand is a constant the compile-time prepack pass already packed.
-func matMulPacked(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator, pb *kernels.PackedB) ([]*tensor.Tensor, error) {
+func matMulPacked(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator, pb *kernels.PackedB) ([]*tensor.Tensor, error) {
 	if err := need("MatMul", in, 2, 2); err != nil {
 		return nil, err
 	}
@@ -41,6 +41,7 @@ func matMulPacked(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator, pb *kernel
 	batches := batchShape.Numel()
 	ad, bd, od := a.Data(), b.Data(), out.Data()
 	bBatch := bs[:bs.Rank()-2].Numel()
+	epi := epilogueOf(attrs)
 
 	// Broadcast each flat batch index back onto the operands per dimension
 	// (a size-1 operand dimension contributes stride 0), so mixed batch
@@ -61,7 +62,7 @@ func matMulPacked(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator, pb *kernel
 	case pb != nil:
 		for batch := 0; batch < batches; batch++ {
 			aOff := batchOf(aIdx, batch) * m * k
-			kernels.GemmPackedB(1, m, ad[aOff:], k, false, pb, od[batch*m*n:], alc)
+			kernels.GemmPackedBEpi(1, m, ad[aOff:], k, false, pb, od[batch*m*n:], alc, epi)
 		}
 	case bBatch <= 1:
 		// One shared B: pack it once into run scratch, reuse per batch.
@@ -69,14 +70,14 @@ func matMulPacked(in []*tensor.Tensor, _ Attrs, alc tensor.Allocator, pb *kernel
 		kernels.PackBInto(bbuf, bd, k, n, n, false)
 		for batch := 0; batch < batches; batch++ {
 			aOff := batchOf(aIdx, batch) * m * k
-			kernels.GemmBPacked(1, m, n, k, ad[aOff:], k, false, bbuf, od[batch*m*n:], alc)
+			kernels.GemmBPackedEpi(1, m, n, k, ad[aOff:], k, false, bbuf, od[batch*m*n:], alc, epi)
 		}
 		tensor.Free(alc, bbuf)
 	default:
 		for batch := 0; batch < batches; batch++ {
 			aOff := batchOf(aIdx, batch) * m * k
 			bOff := batchOf(bIdx, batch) * k * n
-			kernels.Gemm(1, m, n, k, ad[aOff:], k, false, bd[bOff:], n, false, od[batch*m*n:], alc)
+			kernels.GemmEpi(1, m, n, k, ad[aOff:], k, false, bd[bOff:], n, false, od[batch*m*n:], alc, epi)
 		}
 	}
 	return []*tensor.Tensor{out}, nil
@@ -147,22 +148,36 @@ func gemmPacked(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator, pb *kern
 	out := tensor.ZerosIn(alc, m, n)
 	od := out.Data()
 
-	if pb != nil {
-		kernels.GemmPackedB(alpha, m, a.Data(), as[1], transA, pb, od, alc)
-	} else {
-		kernels.Gemm(alpha, m, n, k, a.Data(), as[1], transA, b.Data(), bs[1], transB, od, alc)
+	// A fused writeback activation applies after the bias term; with a live
+	// beta/C sweep it folds into that sweep (still one pass over C),
+	// otherwise it rides the GEMM core's packed writeback.
+	epi := epilogueOf(attrs)
+	hasBias := len(in) == 3 && beta != 0
+	coreEpi := epi
+	if hasBias {
+		coreEpi = kernels.Epilogue{}
 	}
 
-	if len(in) == 3 && beta != 0 {
+	if pb != nil {
+		kernels.GemmPackedBEpi(alpha, m, a.Data(), as[1], transA, pb, od, alc, coreEpi)
+	} else {
+		kernels.GemmEpi(alpha, m, n, k, a.Data(), as[1], transA, b.Data(), bs[1], transB, od, alc, coreEpi)
+	}
+
+	if hasBias {
 		c := in[2]
 		cs := c.Shape()
 		cd := c.Data()
+		// The epilogue applies after the bias while the chunk is still
+		// cache-hot; epi.Apply is a no-op switch when none is fused, so the
+		// plain `+=` sweeps stay branch-free per element.
 		switch {
 		case cs.Equal(tensor.Shape{m, n}):
 			tensor.ParallelRange(m, 16, func(lo, hi int) {
 				for i := lo * n; i < hi*n; i++ {
 					od[i] += beta * cd[i]
 				}
+				epi.Apply(od[lo*n : hi*n])
 			})
 		case cs.Numel() == n: // bias row vector, broadcast over rows
 			tensor.ParallelRange(m, 16, func(lo, hi int) {
@@ -172,6 +187,7 @@ func gemmPacked(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator, pb *kern
 						row[j] += beta * cv
 					}
 				}
+				epi.Apply(od[lo*n : hi*n])
 			})
 		case cs.Numel() == 1:
 			add := beta * cd[0]
@@ -179,6 +195,7 @@ func gemmPacked(in []*tensor.Tensor, attrs Attrs, alc tensor.Allocator, pb *kern
 				for i := lo * n; i < hi*n; i++ {
 					od[i] += add
 				}
+				epi.Apply(od[lo*n : hi*n])
 			})
 		default:
 			return nil, argErr("Gemm", "C shape %v not broadcastable to [%d %d]", cs, m, n)

@@ -35,6 +35,7 @@ func init() {
 	register("Neg", negK)
 	register("Clip", clipK)
 	register("Identity", identityK)
+	register("FusedElementwise", fusedElementwiseK)
 	register("Add", addK)
 	register("Sub", subK)
 	register("Mul", mulK)

@@ -1,0 +1,93 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// benchConvBNReluGraph builds the canonical Conv→BN→Relu triple at a
+// serving-realistic shape where the memory-bound glue (BN + Relu are two
+// full tensor round trips plus two allocations) is visible next to the
+// compute: a 1x1 conv on a wide activation map, the pointwise-conv
+// pattern of modern backbones.
+func benchConvBNReluGraph() *graph.Graph {
+	g := graph.New("cbr_bench")
+	r := tensor.NewRNG(12)
+	const c, img = 8, 256
+	g.Inputs = []graph.ValueInfo{{Name: "x", Shape: tensor.Shape{1, c, img, img}}}
+	g.AddInitializer("w", r.RandTensor(c, c, 1, 1))
+	g.AddInitializer("cb", r.RandTensor(c))
+	g.AddInitializer("s", r.RandTensor(c))
+	g.AddInitializer("b", r.RandTensor(c))
+	g.AddInitializer("m", r.RandTensor(c))
+	v := r.RandTensor(c)
+	for i, e := range v.Data() {
+		v.Data()[i] = 0.5 + e*e
+	}
+	g.AddInitializer("v", v)
+	g.AddNode("conv", "Conv", []string{"x", "w", "cb"}, []string{"t1"}, nil)
+	g.AddNode("bn", "BatchNormalization", []string{"t1", "s", "b", "m", "v"}, []string{"t2"}, nil)
+	g.AddNode("relu", "Relu", []string{"t2"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	g.Reindex()
+	return g
+}
+
+// benchRunGraph measures the graph on the sequential reference executor —
+// the unfused three-op chain exactly as the baseline runs it: every node a
+// separate kernel with a fresh heap output and a full memory round trip.
+func benchRunGraph(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	feeds := models.RandomInputs(g, 1)
+	if _, err := exec.RunSequential(g, feeds); err != nil { // warm + validate
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSequential(g, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusedConvBNRelu runs the triple after Fuse collapsed it to one
+// Conv with folded BN weights and a Relu writeback epilogue — the
+// acceptance benchmark against BenchmarkUnfusedConvBNRelu (>= 1.5x).
+func BenchmarkFusedConvBNRelu(b *testing.B) {
+	g := benchConvBNReluGraph()
+	rep, err := Fuse(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.BNFolded != 1 || rep.Epilogues != 1 || len(g.Nodes) != 1 {
+		b.Fatalf("unexpected fusion result: %+v (%d nodes)", rep, len(g.Nodes))
+	}
+	benchRunGraph(b, g)
+}
+
+// BenchmarkUnfusedConvBNRelu is the three-op baseline the fusion pass
+// eliminates: every op a separate kernel with its own output tensor and
+// full memory round trip.
+func BenchmarkUnfusedConvBNRelu(b *testing.B) {
+	benchRunGraph(b, benchConvBNReluGraph())
+}
+
+// BenchmarkFuseCompilePass measures the pass itself on the largest-chain
+// zoo model, pinning compile-time cost (it must stay in the milliseconds).
+func BenchmarkFuseCompilePass(b *testing.B) {
+	base := models.MustBuild("yolo_v5", models.Config{ImageSize: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := base.Clone()
+		b.StartTimer()
+		if _, err := Fuse(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,105 +9,9 @@ import (
 )
 
 // The passes in this file implement the paper's "future work: more powerful
-// optimizations for graph reductions": operator fusion, common-subexpression
-// elimination and algebraic identity removal. All are semantics-preserving
-// graph rewrites that run before clustering.
-
-// FuseReport summarizes an operator-fusion run.
-type FuseReport struct {
-	// Fused counts producer/consumer pairs merged into one node.
-	Fused int
-}
-
-// fusablePairs lists producer→consumer op pairs that collapse into the
-// producer's cluster granule: the activation is absorbed into the compute
-// op, which removes one node and one (potentially cross-cluster) edge.
-// Since this engine executes ops individually, fusion is represented as a
-// "Fused" attribute chain on the surviving node executed back-to-back —
-// the clustering-relevant effect (one schedulable unit, no edge) is what
-// matters for task parallelism.
-// Only attribute-free unary activations are fusable, so the executor can
-// replay the epilogue chain without attribute plumbing.
-var fusablePairs = map[string]map[string]bool{
-	"Conv":               {"Relu": true, "Sigmoid": true, "Tanh": true},
-	"Gemm":               {"Relu": true, "Tanh": true, "Sigmoid": true},
-	"MatMul":             {"Relu": true},
-	"BatchNormalization": {"Relu": true},
-	"Add":                {"Relu": true},
-}
-
-// epilogueAttr is the attribute under which a fused node records its
-// activation epilogue chain (executed by the runtime after the main op).
-const epilogueAttr = "fused_epilogue"
-
-// FuseOperators merges eligible producer→activation pairs where the
-// producer's output has exactly one consumer and is not a graph output.
-// Runs to a local fixed point in one topological sweep (a fused node can
-// absorb a following activation again, enabling Conv+BN+Relu chains when
-// applied iteratively by Reduce).
-func FuseOperators(g *graph.Graph) (FuseReport, error) {
-	order, err := g.TopoSort()
-	if err != nil {
-		return FuseReport{}, err
-	}
-	report := FuseReport{}
-	removed := map[*graph.Node]bool{}
-	for _, n := range order {
-		if removed[n] {
-			continue
-		}
-		followers, ok := fusablePairs[n.OpType]
-		if !ok {
-			continue
-		}
-		for {
-			if len(n.Outputs) != 1 || g.IsGraphOutput(n.Outputs[0]) {
-				break
-			}
-			consumers := g.Consumers(n.Outputs[0])
-			if len(consumers) != 1 {
-				break
-			}
-			c := consumers[0]
-			if removed[c] || !followers[c.OpType] || len(c.Inputs) != 1 || len(c.Outputs) != 1 {
-				break
-			}
-			// Absorb c: n now produces c's output directly and records the
-			// epilogue op (plus its attrs, flattened with a prefix).
-			chain := n.Attrs.Str(epilogueAttr, "")
-			if chain == "" {
-				chain = c.OpType
-			} else {
-				chain += "+" + c.OpType
-			}
-			if n.Attrs == nil {
-				n.Attrs = map[string]any{}
-			}
-			n.Attrs[epilogueAttr] = chain
-			n.Outputs[0] = c.Outputs[0]
-			removed[c] = true
-			report.Fused++
-			g.Invalidate()
-		}
-	}
-	if report.Fused > 0 {
-		g.RemoveNodes(func(n *graph.Node) bool { return removed[n] })
-		if err := g.Validate(); err != nil {
-			return report, fmt.Errorf("passes: fusion corrupted graph: %w", err)
-		}
-	}
-	return report, nil
-}
-
-// Epilogue returns the fused activation chain of a node ("" when none),
-// for executors that want to apply it.
-func Epilogue(n *graph.Node) []string {
-	chain := n.Attrs.Str(epilogueAttr, "")
-	if chain == "" {
-		return nil
-	}
-	return strings.Split(chain, "+")
-}
+// optimizations for graph reductions": common-subexpression elimination and
+// algebraic identity removal (operator fusion lives in fuse.go). All are
+// semantics-preserving graph rewrites that run before clustering.
 
 // CSEReport summarizes a common-subexpression-elimination run.
 type CSEReport struct {
@@ -260,7 +164,7 @@ type ReduceReport struct {
 	Prune    PruneReport
 	CSE      CSEReport
 	Identity IdentityReport
-	Fuse     FuseReport
+	Fuse     FusionReport
 }
 
 // Reduce runs the complete reduction pipeline to a fixed point: constant
@@ -292,15 +196,11 @@ func Reduce(g *graph.Graph, fuse bool) (ReduceReport, error) {
 		}
 	}
 	if fuse {
-		fr, err := FuseOperators(g)
+		fr, err := Fuse(g)
 		if err != nil {
 			return total, err
 		}
 		total.Fuse = fr
-		// Fusion can orphan nothing, but a final DCE keeps invariants.
-		dr := EliminateDeadCode(g)
-		total.Prune.DCE.RemovedNodes += dr.RemovedNodes
-		total.Prune.DCE.RemovedInitializers += dr.RemovedInitializers
 	}
 	return total, nil
 }

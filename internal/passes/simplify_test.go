@@ -17,15 +17,15 @@ func TestFuseConvRelu(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := len(g.Nodes)
-	rep, err := FuseOperators(g)
+	rep, err := Fuse(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Fused == 0 {
+	if rep.Epilogues == 0 {
 		t.Fatal("no Conv+Relu pairs fused in squeezenet")
 	}
-	if len(g.Nodes) != before-rep.Fused {
-		t.Errorf("node count %d, want %d", len(g.Nodes), before-rep.Fused)
+	if len(g.Nodes) != before-rep.NodesRemoved() {
+		t.Errorf("node count %d, want %d", len(g.Nodes), before-rep.NodesRemoved())
 	}
 	got, err := exec.RunSequential(g, feeds)
 	if err != nil {
@@ -39,8 +39,8 @@ func TestFuseConvRelu(t *testing.T) {
 }
 
 func TestFuseSkipsFanout(t *testing.T) {
-	// A conv whose output feeds two relus must not fuse (the value is
-	// needed twice).
+	// A conv whose output feeds two relus must not absorb an epilogue (the
+	// value is needed twice).
 	g := graph.New("fan")
 	g.Inputs = []graph.ValueInfo{{Name: "x"}}
 	g.AddNode("c", "Conv", []string{"x", "w"}, []string{"vc"}, nil)
@@ -49,31 +49,12 @@ func TestFuseSkipsFanout(t *testing.T) {
 	g.AddNode("r2", "Relu", []string{"vc"}, []string{"v2"}, nil)
 	g.AddNode("j", "Add", []string{"v1", "v2"}, []string{"out"}, nil)
 	g.Outputs = []graph.ValueInfo{{Name: "out"}}
-	rep, err := FuseOperators(g)
+	n, err := AttachEpilogues(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Fused != 0 {
-		t.Errorf("fused across fan-out: %+v", rep)
-	}
-}
-
-func TestEpilogueHelper(t *testing.T) {
-	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
-	if _, err := FuseOperators(g); err != nil {
-		t.Fatal(err)
-	}
-	found := false
-	for _, n := range g.Nodes {
-		if ep := Epilogue(n); len(ep) > 0 {
-			found = true
-			if ep[0] != "Relu" {
-				t.Errorf("unexpected epilogue %v", ep)
-			}
-		}
-	}
-	if !found {
-		t.Error("no node carries an epilogue after fusion")
+	if n != 0 {
+		t.Errorf("fused across fan-out: %d epilogues", n)
 	}
 }
 
@@ -177,7 +158,7 @@ func TestReducePipelinePreservesSemantics(t *testing.T) {
 		if len(g.Nodes) >= before {
 			t.Errorf("%s: Reduce did not shrink graph (%d → %d)", name, before, len(g.Nodes))
 		}
-		if rep.Fuse.Fused == 0 && rep.Prune.Fold.Folded == 0 {
+		if !rep.Fuse.Any() && rep.Prune.Fold.Folded == 0 {
 			t.Errorf("%s: Reduce did nothing: %+v", name, rep)
 		}
 		got, err := exec.RunSequential(g, feeds)

@@ -53,7 +53,7 @@ func optsFingerprint(o ramiel.Options) string {
 	if o.CloneOptions != nil {
 		co = fmt.Sprintf("%+v", *o.CloneOptions)
 	}
-	return fmt.Sprintf("p%t-c%t-m%t-co%s", o.Prune, o.Clone, o.DisableMerge, co)
+	return fmt.Sprintf("p%t-c%t-m%t-f%t-co%s", o.Prune, o.Clone, o.DisableMerge, o.DisableFusion, co)
 }
 
 // programEntry is one singleflight cache slot: the first goroutine to want

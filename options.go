@@ -2,7 +2,8 @@ package ramiel
 
 // CompileOption configures Compile. The zero configuration (no options)
 // runs the plain pipeline: default cost model, no pruning or cloning,
-// cluster merging on, memory plan built lazily on the first arena run.
+// operator fusion on, cluster merging on, memory plan built lazily on the
+// first arena run.
 type CompileOption func(*Options)
 
 // WithCostModel sets the static operator cost model driving clustering
@@ -33,6 +34,14 @@ func WithClone(bounds ...CloneOptions) CompileOption {
 // merge ablation only.
 func WithoutMerge() CompileOption {
 	return func(o *Options) { o.DisableMerge = true }
+}
+
+// WithoutFusion skips the operator-fusion pass (BatchNorm folding into
+// Conv/Gemm weights, activation epilogues applied in the GEMM writeback,
+// and fused elementwise chains). Fusion is on by default; this is the
+// escape hatch for debugging, ablations, and exact-unfused-rounding runs.
+func WithoutFusion() CompileOption {
+	return func(o *Options) { o.DisableFusion = true }
 }
 
 // WithEagerMemPlan builds the static memory plan (internal/memplan) during

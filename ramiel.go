@@ -113,6 +113,11 @@ type Options struct {
 	// DisableMerge skips the cluster-merging pass (Algorithms 2-3); used
 	// by the merge ablation only.
 	DisableMerge bool
+	// DisableFusion skips the operator-fusion pass (BatchNorm folding,
+	// kernel writeback epilogues, fused elementwise chains). Fusion is on
+	// by default — it is semantics-preserving to float rounding — and this
+	// is the escape hatch (WithoutFusion) for debugging and ablations.
+	DisableFusion bool
 	// EagerMemPlan builds the static memory plan (internal/memplan) during
 	// Compile instead of lazily on the first arena run, so serving pays it
 	// at warm time. CompileTime then includes it.
@@ -128,10 +133,16 @@ type Program struct {
 	// CompileTime is the full pipeline latency (the paper's CT column in
 	// Table VIII).
 	CompileTime time.Duration
-	// PruneReport / CloneReport record what the optimization passes did
-	// (zero values when the pass was disabled).
-	PruneReport passes.PruneReport
-	CloneReport passes.CloneReport
+	// PruneReport / CloneReport / FusionReport record what the optimization
+	// passes did (zero values when the pass was disabled).
+	PruneReport  passes.PruneReport
+	CloneReport  passes.CloneReport
+	FusionReport passes.FusionReport
+
+	// opts remembers the compile configuration so GenerateGo can bake an
+	// environment-reproduction expression into generated code (see
+	// CompiledEnv).
+	opts Options
 }
 
 // compile is the pipeline shared by Compile (functional options) and
@@ -144,13 +155,24 @@ func compile(g *Graph, opts Options) (*Program, error) {
 		opts.CostModel = cost.DefaultModel()
 	}
 	work := g.Clone()
-	p := &Program{Graph: work}
+	p := &Program{Graph: work, opts: opts}
 	if opts.Prune {
 		pr, err := passes.Prune(work)
 		if err != nil {
 			return nil, fmt.Errorf("ramiel: prune: %w", err)
 		}
 		p.PruneReport = pr
+	}
+	if !opts.DisableFusion {
+		// Operator fusion (BN folding, writeback epilogues, elementwise
+		// chains) runs after pruning and before clustering, so fused chains
+		// schedule as single units and the folded weights are what the
+		// prepack pass below packs.
+		fr, err := passes.Fuse(work)
+		if err != nil {
+			return nil, fmt.Errorf("ramiel: fuse: %w", err)
+		}
+		p.FusionReport = fr
 	}
 	if opts.Clone {
 		co := passes.DefaultCloneOptions()
@@ -289,9 +311,31 @@ type CodegenOptions = codegen.Options
 
 // GenerateGo renders the program as readable parallel Go source: one
 // function per cluster with explicit queue Send/Recv messaging, plus the
-// sequential reference version (Section IV, Algorithm 4).
+// sequential reference version (Section IV, Algorithm 4). Unless the
+// caller supplies a model path, the generated main() reproduces this
+// program's environment via CompiledEnv with the options the program was
+// compiled with, so initializers materialized by optimization passes
+// (folded constants, fused BatchNorm weights) resolve at run time.
 func (p *Program) GenerateGo(opts CodegenOptions) (string, error) {
+	if opts.ModelPath == "" && opts.CompileOptsExpr == "" {
+		opts.CompileOptsExpr = optionsExpr(p.opts)
+	}
 	return codegen.Generate(p.Graph, p.Plan.Lanes, opts)
+}
+
+// optionsExpr renders the pass-relevant compile options as a Go expression
+// for generated code. The cost model is omitted (it steers clustering, not
+// the graph rewrites that create value names) and CloneOptions are spelled
+// out field by field.
+func optionsExpr(o Options) string {
+	expr := fmt.Sprintf("ramiel.Options{Prune: %t, Clone: %t, DisableMerge: %t, DisableFusion: %t",
+		o.Prune, o.Clone, o.DisableMerge, o.DisableFusion)
+	if o.CloneOptions != nil {
+		co := *o.CloneOptions
+		expr += fmt.Sprintf(", CloneOptions: &ramiel.CloneOptions{MaxConeCost: %v, MaxConeNodes: %d, MaxFanout: %d, TopFraction: %v, MaxClones: %d}",
+			co.MaxConeCost, co.MaxConeNodes, co.MaxFanout, co.TopFraction, co.MaxClones)
+	}
+	return expr + "}"
 }
 
 // Hypercluster builds a batch>1 program from this one (Section III-E):
@@ -328,6 +372,7 @@ func (p *Program) Hypercluster(batch int, switched bool) (*Program, error) {
 		Graph:       h.Graph,
 		Plan:        plan,
 		CompileTime: p.CompileTime,
+		opts:        p.opts,
 	}, nil
 }
 

@@ -100,6 +100,26 @@ func SyntheticEnv(modelName string) Env {
 	return buildEnv(g)
 }
 
+// CompiledEnv rebuilds the named zoo model under cfg, replays the compile
+// pipeline under opts, and returns the *optimized* graph's environment.
+// Generated parallel code is emitted from the optimized graph, whose
+// optimization passes (constant folding, BatchNorm fusion) materialize
+// initializers that do not exist in the base model — SyntheticEnv cannot
+// supply those, so generated mains bind their environment through this
+// instead, with the model config they were generated at (models with
+// baked reshape constants need matching spatial dims). The passes are
+// deterministic, so the replay reproduces exactly the value names the
+// generated code references. Panics on unknown model names or compile
+// failure, which for baked-in generated code is a programming error.
+func CompiledEnv(modelName string, cfg ModelConfig, opts Options) Env {
+	g := models.MustBuild(modelName, cfg)
+	prog, err := CompileWithOptions(g, opts)
+	if err != nil {
+		panic("ramiel: CompiledEnv: " + err.Error())
+	}
+	return buildEnv(prog.Graph)
+}
+
 func buildEnv(g *Graph) Env {
 	env := Env{}
 	for name, t := range g.Initializers {

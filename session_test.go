@@ -166,12 +166,16 @@ func TestSessionCancelMidRunConcurrent(t *testing.T) {
 
 	cancelled := false
 	for attempt := 0; attempt < 25 && !cancelled; attempt++ {
+		// Ramp the cancel delay from 50µs: a fixed delay razes the test
+		// when kernel speedups shrink the whole run below it, while the
+		// ramp guarantees some attempt lands mid-flight on any host.
+		delay := time.Duration(attempt+1) * 50 * time.Microsecond
 		ctx, cancel := context.WithCancel(context.Background())
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			time.Sleep(1 * time.Millisecond)
+			time.Sleep(delay)
 			cancel()
 		}()
 		_, runErr := sess.Run(ctx, feeds)
