@@ -251,6 +251,44 @@ func BenchmarkServeArena(b *testing.B) {
 	}
 }
 
+// BenchmarkServeObs measures the serving hot path with telemetry on
+// (default: stage histograms + request tracing) vs off. Run with -benchmem:
+// the deltas are the observability layer's whole per-request cost — the
+// design target is zero extra allocations and low tens of nanoseconds.
+func BenchmarkServeObs(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		noObs bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := serve.New(serve.Config{Workers: 2, MaxBatch: 1, NoObs: bc.noObs})
+			defer s.Close(context.Background())
+			if err := s.RegisterZoo(ramiel.ModelConfig{ImageSize: 16}, "squeezenet"); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Warm(); err != nil {
+				b.Fatal(err)
+			}
+			feeds, err := s.RandomFeeds("squeezenet", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkServeCompilePerRequest(b *testing.B) {
 	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
 	feeds := ramiel.RandomInputs(g, 1)

@@ -108,7 +108,7 @@ func main() {
 	}
 	if *run {
 		did = true
-		if err := runAndVerify(prog, *seed, *arena); err != nil {
+		if err := runAndVerify(prog, *seed, *arena, *report); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -223,7 +223,7 @@ func printReport(prog *ramiel.Program) {
 		res.TotalWork/1000, res.Makespan/1000, res.Speedup())
 }
 
-func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
+func runAndVerify(prog *ramiel.Program, seed uint64, useArena, report bool) error {
 	ctx := context.Background()
 	feeds := ramiel.RandomInputs(prog.Graph, seed)
 	// One reusable session carries the run configuration (arena, profiling)
@@ -272,7 +272,34 @@ func runAndVerify(prog *ramiel.Program, seed uint64, useArena bool) error {
 		fmt.Printf("  arena: %d gets (%.0f%% hits), %d puts, peak %s, fresh heap %s\n",
 			st.Gets, hitRate, st.Puts, fmtBytes(st.PeakBytes), fmtBytes(st.AllocBytes))
 	}
+	if report {
+		printOpTable(prog, 8)
+	}
 	return nil
+}
+
+// printOpTable prints the top-n operator types of the program by measured
+// cumulative execution time — the same live counters the serving stack
+// exposes at /v1/stats and /metrics, accumulated here by the verify runs.
+func printOpTable(prog *ramiel.Program, n int) {
+	totals := prog.OpTotals()
+	if len(totals) == 0 {
+		return
+	}
+	var sum int64
+	for _, t := range totals {
+		sum += t.TotalNs
+	}
+	fmt.Printf("  op time (top %d of %d op types, %v total):\n",
+		min(n, len(totals)), len(totals), time.Duration(sum).Round(time.Microsecond))
+	for i, t := range totals {
+		if i >= n {
+			break
+		}
+		fmt.Printf("    %-16s %6d calls  %10v  (%4.1f%%)\n",
+			t.Op, t.Count, time.Duration(t.TotalNs).Round(time.Microsecond),
+			100*float64(t.TotalNs)/float64(sum))
+	}
 }
 
 // fmtBytes renders a byte count with a binary unit.

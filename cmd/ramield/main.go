@@ -16,6 +16,15 @@
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/infer -d '{"model":"squeezenet","seed":1}'
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/trace?n=20        # recent request spans
+//	curl localhost:8080/v1/trace?slow=1      # tail-latency offenders
+//	curl localhost:8080/metrics              # Prometheus text exposition
+//	curl localhost:8080/readyz               # readiness (preload compiled)
+//
+// Telemetry (stage-latency histograms, request tracing) is always on and
+// costs no allocations per request; -obs=false switches it off for A/B
+// overhead measurements. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ for live CPU and heap profiles.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,16 +65,23 @@ func main() {
 	clone := flag.Bool("clone", false, "compile with limited task cloning")
 	fusion := flag.Bool("fusion", true, "compile with operator fusion (BN folding, kernel epilogues, fused elementwise chains)")
 	warm := flag.Bool("warm", true, "precompile batch-1 programs at startup")
+	obsOn := flag.Bool("obs", true, "serve-layer telemetry: stage-latency histograms and request tracing")
+	traceDepth := flag.Int("trace-depth", 256, "request-trace ring capacity (recent and slow rings)")
+	slowTrace := flag.Duration("slow-trace", 100*time.Millisecond, "e2e latency at which a request also enters the slow-trace ring")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		MaxBatch:     *maxBatch,
-		FlushTimeout: *flush,
-		Switched:     *switched,
-		Deadline:     *deadline,
-		NoArena:      !*arena,
-		Compile:      ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		FlushTimeout:  *flush,
+		Switched:      *switched,
+		Deadline:      *deadline,
+		NoArena:       !*arena,
+		NoObs:         !*obsOn,
+		TraceDepth:    *traceDepth,
+		SlowThreshold: *slowTrace,
+		Compile:       ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
 	})
 
 	var zoo []string
@@ -90,17 +107,37 @@ func main() {
 	}
 
 	if *warm {
+		// /readyz stays 503 until this succeeds: a deployment rolling the
+		// daemon knows not to route traffic at a still-compiling instance.
 		warmStart := time.Now()
 		if err := srv.Warm(); err != nil {
 			log.Fatalf("warmup: %v", err)
 		}
 		log.Printf("warmed %d models in %v", len(srv.Registry().Models()),
 			time.Since(warmStart).Round(time.Millisecond))
+	} else {
+		// No preload set to wait for; ready as soon as we can listen.
+		srv.MarkReady()
 	}
-	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v)",
-		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion)
+	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v, obs %v)",
+		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion, *obsOn)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The API mux must not import pprof unconditionally (its blank
+		// import mounts handlers on DefaultServeMux); register explicitly,
+		// behind the flag, on our own mux.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

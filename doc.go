@@ -38,7 +38,15 @@
 // run-method matrix (Program.Run, RunArena, RunProfiled, RunProfiledArena)
 // remains as deprecated one-shot-session wrappers.
 //
+// Execution is instrumented: every Plan run accumulates per-op-type
+// invocation counts and cumulative wall time (Program.OpTotals — where
+// model time goes, measured live), and the serving layer adds per-model
+// stage-latency histograms, request tracing, and cause-labeled error
+// counters on top (see internal/obs). The ramield daemon serves it all at
+// GET /v1/stats, /v1/trace and /metrics (Prometheus text format), next to
+// POST /v1/infer, GET /v1/models, /healthz and /readyz.
+//
 // See the examples/ directory for runnable end-to-end programs and
-// DESIGN.md for the system inventory, serving-layer architecture, ramield
-// quickstart and experiment index.
+// DESIGN.md for the system inventory, serving-layer architecture,
+// observability design, ramield quickstart and experiment index.
 package ramiel

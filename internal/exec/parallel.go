@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/memplan"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/tensor"
 )
@@ -52,6 +53,17 @@ type Plan struct {
 	// every run reuses the same packed panels.
 	packOnce sync.Once
 	pack     map[*graph.Node]*ops.Prepacked
+
+	// opCount/opNs are the plan's per-node execution counters: kernel
+	// invocations and cumulative kernel nanoseconds, accumulated across
+	// every run of the plan for the lifetime of the plan. They are the
+	// always-on serving analogue of the offline MeasureCosts pass — live
+	// measured per-op costs for /v1/stats and profile-guided
+	// recompilation. Allocated once with the topology (dense node index,
+	// see planTopo.opIdx); the record path is two atomic adds per node on
+	// top of the per-node timing the profile already takes.
+	opCount []atomic.Int64
+	opNs    []atomic.Int64
 }
 
 // chanKey identifies one cross-lane channel: a produced value and the lane
@@ -94,6 +106,11 @@ type planTopo struct {
 	// nothing to do are absent.
 	ins  map[*graph.Node][]inputSrc
 	outs map[*graph.Node][]outputDst
+	// opIdx gives each node (by lane and lane position) its dense index
+	// into the plan's op counters, and opNodes maps that index back to the
+	// node — precomputed so the lane hot loop records without a map lookup.
+	opIdx   [][]int32
+	opNodes []*graph.Node
 }
 
 // topology returns the plan's routing structure, building it on first use.
@@ -104,11 +121,17 @@ func (p *Plan) topology() *planTopo {
 			ins:    map[*graph.Node][]inputSrc{},
 			outs:   map[*graph.Node][]outputDst{},
 		}
+		t.opIdx = make([][]int32, len(p.Lanes))
 		for li, lane := range p.Lanes {
-			for _, n := range lane {
+			t.opIdx[li] = make([]int32, len(lane))
+			for ni, n := range lane {
 				t.laneOf[n] = li
+				t.opIdx[li][ni] = int32(len(t.opNodes))
+				t.opNodes = append(t.opNodes, n)
 			}
 		}
+		p.opCount = make([]atomic.Int64, len(t.opNodes))
+		p.opNs = make([]atomic.Int64, len(t.opNodes))
 		seenKey := map[chanKey]bool{}
 		for li, lane := range p.Lanes {
 			for _, n := range lane {
@@ -316,6 +339,38 @@ func (p *Plan) PrepackWeights() (nodes int, bytes int64) {
 		}
 	}
 	return nodes, bytes
+}
+
+// OpTotals aggregates the plan's per-node execution counters by operator
+// type: invocations and cumulative kernel time since the plan was built,
+// across every run, sorted by cumulative time descending. It reports where
+// the model's execution time actually goes — the live measured-cost view
+// the static cost model (the paper's Table I) approximates at compile time.
+// Safe to call concurrently with runs; a snapshot racing active lanes may
+// miss their in-flight nodes.
+func (p *Plan) OpTotals() []obs.OpTotal {
+	topo := p.topology()
+	agg := make(map[string]obs.OpTotal)
+	for i, n := range topo.opNodes {
+		c := p.opCount[i].Load()
+		if c == 0 {
+			continue
+		}
+		t := agg[n.OpType]
+		t.Op = n.OpType
+		t.Count += c
+		t.TotalNs += p.opNs[i].Load()
+		agg[n.OpType] = t
+	}
+	if len(agg) == 0 {
+		return nil
+	}
+	out := make([]obs.OpTotal, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, t)
+	}
+	obs.SortOpTotals(out)
+	return out
 }
 
 // message is one cross-cluster tensor transfer.
@@ -585,7 +640,7 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 			stats := &profile.Lanes[li]
 			// Lane-local environment: shared read-only base + local values.
 			env := make(Env, len(lane)*2)
-			for _, n := range lane {
+			for ni, n := range lane {
 				// Observe cancellation between ops: one non-blocking poll per
 				// node, so an aborted run stops within a kernel's duration.
 				if done != nil {
@@ -631,7 +686,14 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 					fail(li, err)
 					return
 				}
-				stats.Busy += time.Since(busyStart)
+				busy := time.Since(busyStart)
+				stats.Busy += busy
+				// Accumulate the plan's per-node execution counters (the
+				// timing above is already taken for the profile; this adds
+				// two lock-free atomic ops and no allocation).
+				idx := topo.opIdx[li][ni]
+				p.opCount[idx].Add(1)
+				p.opNs[idx].Add(int64(busy))
 				// Send outputs needed by remote lanes; capture graph outputs.
 				for _, dst := range topo.outs[n] {
 					for _, cl := range dst.lanes {

@@ -1,0 +1,63 @@
+package obs
+
+import "sort"
+
+// OpTotal is the aggregated execution record of one operator type within a
+// plan (or a merge of plans): how many kernel invocations it saw and their
+// cumulative wall time. This is the serving-side view of "where model time
+// goes" — the measured-cost input for profile-guided recompilation.
+type OpTotal struct {
+	Op      string `json:"op"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// MeanNs is the mean time per invocation, 0 when never invoked.
+func (t OpTotal) MeanNs() int64 {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.TotalNs / t.Count
+}
+
+// MergeOpTotals combines per-plan tables (e.g. a model's batch variants)
+// into one, summing entries of the same op type, sorted by cumulative time
+// descending. Empty input merges to nil.
+func MergeOpTotals(tables ...[]OpTotal) []OpTotal {
+	var agg map[string]OpTotal
+	for _, tbl := range tables {
+		for _, t := range tbl {
+			if t.Count == 0 {
+				continue
+			}
+			if agg == nil {
+				agg = make(map[string]OpTotal, len(tbl))
+			}
+			a := agg[t.Op]
+			a.Op = t.Op
+			a.Count += t.Count
+			a.TotalNs += t.TotalNs
+			agg[t.Op] = a
+		}
+	}
+	if len(agg) == 0 {
+		return nil
+	}
+	out := make([]OpTotal, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, t)
+	}
+	SortOpTotals(out)
+	return out
+}
+
+// SortOpTotals orders a table by cumulative time descending (op name as the
+// tiebreaker, so reports are deterministic).
+func SortOpTotals(ts []OpTotal) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].TotalNs != ts[j].TotalNs {
+			return ts[i].TotalNs > ts[j].TotalNs
+		}
+		return ts[i].Op < ts[j].Op
+	})
+}

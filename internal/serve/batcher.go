@@ -13,19 +13,25 @@ import (
 // ErrBatcherClosed is returned for requests submitted after shutdown began.
 var ErrBatcherClosed = errors.New("serve: batcher closed")
 
-// batchResult is one request's share of a flushed batch.
+// batchResult is one request's share of a flushed batch. assembly is how
+// long this request waited for batch companions before the flush; timing is
+// the batch run's pool attribution (shared by every member).
 type batchResult struct {
 	outs      ramiel.Env
 	batchSize int
+	assembly  time.Duration
+	timing    Timing
 	err       error
 }
 
 // inferJob is a queued single-sample request: feeds keyed by the model's
 // batch-1 input names, result delivered on res (buffered, never blocks the
-// flusher).
+// flusher). submit timestamps the enqueue so the flusher can attribute the
+// batch-assembly wait per member.
 type inferJob struct {
-	feeds ramiel.Env
-	res   chan batchResult
+	feeds  ramiel.Env
+	res    chan batchResult
+	submit time.Time
 }
 
 // batcher coalesces single-sample requests for one model into dynamic
@@ -74,12 +80,12 @@ func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource
 // submit queues one single-sample request and waits for its slice of the
 // batch result. ctx only abandons the wait; the underlying batch still
 // completes for its other members.
-func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int, error) {
-	job := &inferJob{feeds: feeds, res: make(chan batchResult, 1)}
+func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int, stageTimes, error) {
+	job := &inferJob{feeds: feeds, res: make(chan batchResult, 1), submit: time.Now()}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return nil, 0, ErrBatcherClosed
+		return nil, 0, stageTimes{}, ErrBatcherClosed
 	}
 	b.pending = append(b.pending, job)
 	b.stats.noteQueued()
@@ -93,9 +99,10 @@ func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int
 
 	select {
 	case r := <-job.res:
-		return r.outs, r.batchSize, r.err
+		ts := stageTimes{assembly: r.assembly, queue: r.timing.Queue, exec: r.timing.Exec, ran: r.timing.Ran}
+		return r.outs, r.batchSize, ts, r.err
 	case <-ctx.Done():
-		return nil, 0, ctx.Err()
+		return nil, 0, stageTimes{assembly: time.Since(job.submit)}, ctx.Err()
 	}
 }
 
@@ -139,12 +146,14 @@ func (b *batcher) flushLocked() {
 func (b *batcher) runBatch(jobs []*inferJob) {
 	n := len(jobs)
 	b.stats.noteBatch(n)
+	// The flush instant closes every member's batch-assembly window.
+	flushT := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), b.deadline)
 	defer cancel()
 
 	prog, err := b.reg.Program(b.model, n)
 	if err != nil {
-		b.failAll(jobs, err)
+		b.failAll(jobs, flushT, Timing{}, err)
 		return
 	}
 	feeds := jobs[0].feeds
@@ -157,15 +166,16 @@ func (b *batcher) runBatch(jobs []*inferJob) {
 		}
 		feeds = merged
 	}
-	outs, err := b.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
+	outs, timing, err := b.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
 		return b.sessions.run(runCtx, prog, feeds)
 	})
 	if err != nil {
-		b.failAll(jobs, err)
+		b.failAll(jobs, flushT, timing, err)
 		return
 	}
 	if n == 1 {
-		jobs[0].res <- batchResult{outs: outs, batchSize: 1}
+		jobs[0].res <- batchResult{outs: outs, batchSize: 1,
+			assembly: flushT.Sub(jobs[0].submit), timing: timing}
 		return
 	}
 	// Split the replicated outputs back per sample.
@@ -176,19 +186,20 @@ func (b *batcher) runBatch(jobs []*inferJob) {
 	for name, t := range outs {
 		s := ramiel.SampleIndexOf(name)
 		if s < 0 || s >= n {
-			b.failAll(jobs, fmt.Errorf("serve: batch output %q has no valid sample index", name))
+			b.failAll(jobs, flushT, timing, fmt.Errorf("serve: batch output %q has no valid sample index", name))
 			return
 		}
 		split[s][ramiel.BaseValueName(name)] = t
 	}
 	for s, job := range jobs {
-		job.res <- batchResult{outs: split[s], batchSize: n}
+		job.res <- batchResult{outs: split[s], batchSize: n,
+			assembly: flushT.Sub(job.submit), timing: timing}
 	}
 }
 
-func (b *batcher) failAll(jobs []*inferJob, err error) {
+func (b *batcher) failAll(jobs []*inferJob, flushT time.Time, timing Timing, err error) {
 	for _, job := range jobs {
-		job.res <- batchResult{err: err}
+		job.res <- batchResult{err: err, assembly: flushT.Sub(job.submit), timing: timing}
 	}
 }
 

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/metrics"
+	"strconv"
 	"time"
 
 	ramiel "repro"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -51,9 +53,15 @@ type inferRequest struct {
 // inferResponse is the body of a successful /v1/infer.
 type inferResponse struct {
 	Model     string                `json:"model"`
+	RequestID uint64                `json:"request_id"`
 	Outputs   map[string]TensorJSON `json:"outputs"`
 	BatchSize int                   `json:"batch_size"`
 	LatencyUs int64                 `json:"latency_us"`
+	// Stage breakdown of LatencyUs (see the stage histograms in /v1/stats):
+	// micro-batch assembly wait, pool queue wait, and session execution.
+	BatchWaitUs int64 `json:"batch_wait_us"`
+	QueueWaitUs int64 `json:"queue_wait_us"`
+	ExecUs      int64 `json:"exec_us"`
 }
 
 // modelInfo is one entry of GET /v1/models.
@@ -75,11 +83,16 @@ type valueInfoJSON struct {
 // statsResponse is the body of GET /v1/stats.
 type statsResponse struct {
 	UptimeSeconds float64                       `json:"uptime_seconds"`
+	Ready         bool                          `json:"ready"`
 	Registry      RegistryStatsSnapshot         `json:"registry"`
 	Pool          poolStatsJSON                 `json:"pool"`
 	Arena         arenaStatsJSON                `json:"arena"`
 	Runtime       runtimeStatsJSON              `json:"runtime"`
 	Models        map[string]ModelStatsSnapshot `json:"models"`
+	// Ops is the per-model, per-op-type execution time table, merged across
+	// the model's compiled batch variants — where model time actually goes.
+	// Only models with a ready compiled program appear.
+	Ops map[string][]obs.OpTotal `json:"ops,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -166,22 +179,32 @@ func readRuntimeStats() runtimeStatsJSON {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Cause is the classification label also used by the errors_by_cause
+	// counters and trace spans (validation, compile, execution, deadline,
+	// canceled, shutdown). Empty for errors outside the serving taxonomy.
+	Cause string `json:"cause,omitempty"`
 }
 
 // Handler returns the HTTP API:
 //
 //	GET  /v1/models  — registered models, signatures, cache + stats
 //	POST /v1/infer   — run one inference request
-//	GET  /v1/stats   — registry/pool/per-model counters
+//	GET  /v1/stats   — registry/pool/per-model counters, histograms, op time
+//	GET  /v1/trace   — recent request spans (?n= limits, ?slow=1 for the slow ring)
+//	GET  /metrics    — Prometheus text exposition
 //	GET  /healthz    — liveness
+//	GET  /readyz     — readiness (preload set compiled)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
@@ -194,6 +217,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// checkFeedSignature verifies client-supplied feeds against the model's
+// declared inputs. Failures wrap ramiel.ErrInvalidFeeds so they classify
+// as CauseValidation and map to 400, same as Session.Run's own check.
+func checkFeedSignature(g *ramiel.Graph, feeds ramiel.Env) error {
+	declared := map[string]bool{}
+	for _, in := range g.Inputs {
+		declared[in.Name] = true
+		t, ok := feeds[in.Name]
+		if !ok {
+			return fmt.Errorf("%w: missing input %q", ramiel.ErrInvalidFeeds, in.Name)
+		}
+		if len(in.Shape) > 0 && !t.Shape().Equal(in.Shape) {
+			return fmt.Errorf("%w: input %q has shape %v, model declares %v",
+				ramiel.ErrInvalidFeeds, in.Name, t.Shape(), in.Shape)
+		}
+	}
+	for name := range feeds {
+		if !declared[name] {
+			return fmt.Errorf("%w: unknown input %q", ramiel.ErrInvalidFeeds, name)
+		}
+	}
+	return nil
+}
+
+// writeInferError is writeError for failures of a dispatched inference
+// request, which carry a cause label from the serving taxonomy.
+func writeInferError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error(), Cause: causeOf(err).String()})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -252,31 +305,18 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			feeds[name] = t
 		}
 		// Validate against the model signature up front so a bad request
-		// is a 400, not a lane failure deep in the executor.
+		// is a 400, not a poisoned micro-batch deep in the executor. These
+		// rejections count as validation errors for the model just like
+		// feed failures caught later by Session.Run.
 		g, err := s.reg.Graph(req.Model)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		declared := map[string]bool{}
-		for _, in := range g.Inputs {
-			declared[in.Name] = true
-			t, ok := feeds[in.Name]
-			if !ok {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("missing input %q", in.Name))
-				return
-			}
-			if len(in.Shape) > 0 && !t.Shape().Equal(in.Shape) {
-				writeError(w, http.StatusBadRequest,
-					fmt.Errorf("input %q has shape %v, model declares %v", in.Name, t.Shape(), in.Shape))
-				return
-			}
-		}
-		for name := range feeds {
-			if !declared[name] {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown input %q", name))
-				return
-			}
+		if err := checkFeedSignature(g, feeds); err != nil {
+			s.modelStats(req.Model).noteError(CauseValidation)
+			writeInferError(w, http.StatusBadRequest, err)
+			return
 		}
 	case req.Seed != nil:
 		var err error
@@ -297,20 +337,75 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	outs, meta, err := s.Infer(ctx, req.Model, feeds, req.NoBatch)
+	if meta.RequestID != 0 {
+		w.Header().Set("X-Request-ID", strconv.FormatUint(meta.RequestID, 10))
+	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeInferError(w, statusFor(err), err)
 		return
 	}
 	resp := inferResponse{
-		Model:     req.Model,
-		Outputs:   make(map[string]TensorJSON, len(outs)),
-		BatchSize: meta.BatchSize,
-		LatencyUs: meta.Latency.Microseconds(),
+		Model:       req.Model,
+		RequestID:   meta.RequestID,
+		Outputs:     make(map[string]TensorJSON, len(outs)),
+		BatchSize:   meta.BatchSize,
+		LatencyUs:   meta.Latency.Microseconds(),
+		BatchWaitUs: meta.BatchWait.Microseconds(),
+		QueueWaitUs: meta.QueueWait.Microseconds(),
+		ExecUs:      meta.Exec.Microseconds(),
 	}
 	for name, t := range outs {
 		resp.Outputs[name] = fromTensor(t)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves GET /v1/trace: the most recent request spans, newest
+// first. ?n= caps the count; ?slow=1 reads the slow-request ring (spans at
+// or above Config.SlowThreshold) instead of the recent ring.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	if !s.obs {
+		writeError(w, http.StatusNotImplemented, errors.New("tracing disabled (server started with telemetry off)"))
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
+			return
+		}
+		n = parsed
+	}
+	slow := r.URL.Query().Get("slow") == "1"
+	var spans []obs.Span
+	if slow {
+		spans = s.SlowTraces(n)
+	} else {
+		spans = s.Traces(n)
+	}
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow":  slow,
+		"spans": spans,
+	})
+}
+
+// handleReady serves GET /readyz: 200 once the preload set has compiled
+// (Warm succeeded or MarkReady was called), 503 before. Distinct from
+// /healthz, which only says the process is serving HTTP.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -328,6 +423,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	arena.ArenaStatsSnapshot, arena.Enabled = s.ArenaStats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: s.Uptime().Seconds(),
+		Ready:         s.Ready(),
 		Registry:      s.reg.Stats(),
 		Pool: poolStatsJSON{
 			Workers:      s.cfg.Workers,
@@ -338,7 +434,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Arena:   arena,
 		Runtime: readRuntimeStats(),
 		Models:  models,
+		Ops:     s.opTotals(),
 	})
+}
+
+// opTotals builds the per-model op-time tables for stats and metrics by
+// peeking every ready compiled variant (never compiling — a monitoring GET
+// must not trigger builds or skew cache counters) and merging the variants'
+// tables. Models with no executed ops yet are omitted.
+func (s *Server) opTotals() map[string][]obs.OpTotal {
+	var out map[string][]obs.OpTotal
+	for _, name := range s.reg.Models() {
+		var tables [][]obs.OpTotal
+		for _, batch := range s.reg.CachedBatches(name) {
+			if prog := s.reg.Peek(name, batch); prog != nil {
+				tables = append(tables, prog.OpTotals())
+			}
+		}
+		if merged := obs.MergeOpTotals(tables...); merged != nil {
+			if out == nil {
+				out = map[string][]obs.OpTotal{}
+			}
+			out[name] = merged
+		}
+	}
+	return out
 }
 
 // statusFor maps serving errors onto HTTP status codes.
@@ -353,6 +473,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotRegistered):
 		return http.StatusNotFound
+	case errors.Is(err, ramiel.ErrInvalidFeeds):
+		// Bad feeds are a client error even when they slip past the HTTP
+		// layer's up-front validation (e.g. direct API use).
+		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
 	}

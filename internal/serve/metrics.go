@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (text/plain; version=0.0.4), dependency-free: counters, gauges and
+// the per-model stage-latency histograms (cumulative le buckets in
+// seconds). Reading is snapshot-priced — the hot path never pays for it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	s.writeMetrics(bw)
+}
+
+// writeMetrics renders every family. Split from the handler so tests can
+// render to a buffer.
+func (s *Server) writeMetrics(w *bufio.Writer) {
+	// Process-level gauges.
+	writeHeader(w, "ramield_uptime_seconds", "gauge", "Time since the serving runtime started.")
+	fmt.Fprintf(w, "ramield_uptime_seconds %s\n", fmtFloat(s.Uptime().Seconds()))
+	writeHeader(w, "ramield_ready", "gauge", "1 once the preload set has compiled (see /readyz).")
+	fmt.Fprintf(w, "ramield_ready %d\n", boolToInt(s.Ready()))
+
+	// Registry (compile cache) counters.
+	reg := s.reg.Stats()
+	writeHeader(w, "ramield_compiles_total", "counter", "Model/variant compilations performed.")
+	fmt.Fprintf(w, "ramield_compiles_total %d\n", reg.Compiles)
+	writeHeader(w, "ramield_compile_cache_hits_total", "counter", "Program cache hits.")
+	fmt.Fprintf(w, "ramield_compile_cache_hits_total %d\n", reg.CacheHits)
+	writeHeader(w, "ramield_compile_cache_misses_total", "counter", "Program cache misses.")
+	fmt.Fprintf(w, "ramield_compile_cache_misses_total %d\n", reg.CacheMisses)
+	writeHeader(w, "ramield_compile_seconds_total", "counter", "Cumulative time spent compiling.")
+	fmt.Fprintf(w, "ramield_compile_seconds_total %s\n", fmtFloat(float64(reg.CompileMicros)/1e6))
+
+	// Worker pool gauges.
+	writeHeader(w, "ramield_pool_workers", "gauge", "Configured worker count.")
+	fmt.Fprintf(w, "ramield_pool_workers %d\n", s.cfg.Workers)
+	writeHeader(w, "ramield_pool_queue_depth", "gauge", "Tasks accepted but not yet started.")
+	fmt.Fprintf(w, "ramield_pool_queue_depth %d\n", s.pool.QueueDepth())
+	writeHeader(w, "ramield_pool_in_flight", "gauge", "Tasks currently executing.")
+	fmt.Fprintf(w, "ramield_pool_in_flight %d\n", s.pool.InFlight())
+	writeHeader(w, "ramield_pool_peak_in_flight", "gauge", "Highest concurrent execution count observed.")
+	fmt.Fprintf(w, "ramield_pool_peak_in_flight %d\n", s.pool.PeakInFlight())
+
+	// Arena counters (absent when the arena is disabled).
+	if arena, ok := s.ArenaStats(); ok {
+		writeHeader(w, "ramield_arena_gets_total", "counter", "Arena buffer requests.")
+		fmt.Fprintf(w, "ramield_arena_gets_total %d\n", arena.Gets)
+		writeHeader(w, "ramield_arena_hits_total", "counter", "Arena requests served from free lists.")
+		fmt.Fprintf(w, "ramield_arena_hits_total %d\n", arena.Hits)
+		writeHeader(w, "ramield_arena_misses_total", "counter", "Arena requests that allocated.")
+		fmt.Fprintf(w, "ramield_arena_misses_total %d\n", arena.Misses)
+		writeHeader(w, "ramield_arena_puts_total", "counter", "Buffers recycled back to arenas.")
+		fmt.Fprintf(w, "ramield_arena_puts_total %d\n", arena.Puts)
+		writeHeader(w, "ramield_arena_alloc_bytes_total", "counter", "Bytes allocated by arena misses.")
+		fmt.Fprintf(w, "ramield_arena_alloc_bytes_total %d\n", arena.AllocBytes)
+		writeHeader(w, "ramield_arena_in_use_bytes", "gauge", "Arena bytes handed out and not yet recycled.")
+		fmt.Fprintf(w, "ramield_arena_in_use_bytes %d\n", arena.InUseBytes)
+		writeHeader(w, "ramield_arena_peak_bytes", "gauge", "Peak arena bytes in use.")
+		fmt.Fprintf(w, "ramield_arena_peak_bytes %d\n", arena.PeakBytes)
+		writeHeader(w, "ramield_arena_held_bytes", "gauge", "Arena bytes parked on free lists.")
+		fmt.Fprintf(w, "ramield_arena_held_bytes %d\n", arena.HeldBytes)
+	}
+
+	// Per-model counters, cause-labeled errors, and stage histograms,
+	// snapshotted once per model. Sorted model order keeps the exposition
+	// diffable.
+	s.mu.Lock()
+	names := make([]string, 0, len(s.stats))
+	snaps := make(map[string]ModelStatsSnapshot, len(s.stats))
+	for name, st := range s.stats {
+		names = append(names, name)
+		snaps[name] = st.Snapshot()
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+
+	writeModelCounter(w, "ramield_requests_total", "counter", "Inference requests routed to the model.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.Requests })
+	writeModelCounter(w, "ramield_batched_requests_total", "counter", "Requests served inside a coalesced batch of size > 1.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.Batched })
+	writeModelCounter(w, "ramield_batch_flushes_total", "counter", "Micro-batch flushes executed.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.Flushes })
+	writeModelCounter(w, "ramield_batch_flushed_samples_total", "counter", "Requests carried by all flushes.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.FlushedSamples })
+	writeModelCounter(w, "ramield_batch_max_seen", "gauge", "Largest coalesced batch executed.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.MaxBatchSeen })
+	writeModelCounter(w, "ramield_batcher_queue_depth", "gauge", "Requests waiting in the micro-batcher window.",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.QueueDepth })
+
+	writeHeader(w, "ramield_errors_total", "counter", "Failed requests by cause. Canceled clients carry their own label but are excluded from error-rate SLOs by convention.")
+	for _, name := range names {
+		snap := snaps[name]
+		causes := make([]string, 0, len(snap.ErrorsByCause))
+		for cause := range snap.ErrorsByCause {
+			causes = append(causes, cause)
+		}
+		sort.Strings(causes)
+		for _, cause := range causes {
+			fmt.Fprintf(w, "ramield_errors_total{model=%s,cause=%s} %d\n",
+				quoteLabel(name), quoteLabel(cause), snap.ErrorsByCause[cause])
+		}
+	}
+
+	writeHeader(w, "ramield_stage_duration_seconds", "histogram", "Request latency by lifecycle stage (batch_assembly, queue_wait, execute, e2e).")
+	for _, name := range names {
+		stages := snaps[name].Stages
+		for _, stage := range obs.Stages() {
+			snap, ok := stages[stage.String()]
+			if !ok || snap.Count == 0 {
+				continue
+			}
+			writeHistogram(w, "ramield_stage_duration_seconds",
+				fmt.Sprintf("model=%s,stage=%s", quoteLabel(name), quoteLabel(stage.String())), snap)
+		}
+	}
+
+	// Per-op execution totals, merged across each model's batch variants.
+	ops := s.opTotals()
+	opModels := make([]string, 0, len(ops))
+	for name := range ops {
+		opModels = append(opModels, name)
+	}
+	sort.Strings(opModels)
+	writeHeader(w, "ramield_op_invocations_total", "counter", "Kernel invocations by operator type.")
+	for _, name := range opModels {
+		for _, t := range ops[name] {
+			fmt.Fprintf(w, "ramield_op_invocations_total{model=%s,op=%s} %d\n",
+				quoteLabel(name), quoteLabel(t.Op), t.Count)
+		}
+	}
+	writeHeader(w, "ramield_op_seconds_total", "counter", "Cumulative kernel wall time by operator type.")
+	for _, name := range opModels {
+		for _, t := range ops[name] {
+			fmt.Fprintf(w, "ramield_op_seconds_total{model=%s,op=%s} %s\n",
+				quoteLabel(name), quoteLabel(t.Op), fmtFloat(float64(t.TotalNs)/1e9))
+		}
+	}
+}
+
+// writeHistogram renders one histogram series in the Prometheus histogram
+// convention: cumulative bucket counts keyed by inclusive upper bound `le`
+// in seconds, closed by +Inf, plus _sum and _count. The obs snapshot's
+// buckets are non-cumulative, non-empty and sorted ascending, so one pass
+// accumulates.
+func writeHistogram(w *bufio.Writer, family, labels string, snap obs.HistogramSnapshot) {
+	cum := int64(0)
+	for _, b := range snap.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", family, labels, fmtFloat(float64(b.UpperNs)/1e9), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", family, labels, fmtFloat(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, snap.Count)
+}
+
+// writeModelCounter renders one per-model single-value family.
+func writeModelCounter(w *bufio.Writer, family, kind, help string, names []string, snaps map[string]ModelStatsSnapshot, get func(ModelStatsSnapshot) int64) {
+	writeHeader(w, family, kind, help)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s{model=%s} %d\n", family, quoteLabel(name), get(snaps[name]))
+	}
+}
+
+func writeHeader(w *bufio.Writer, family, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, kind)
+}
+
+// quoteLabel escapes a label value per the exposition format (backslash,
+// double quote, newline) and wraps it in quotes.
+func quoteLabel(v string) string {
+	v = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+	return `"` + v + `"`
+}
+
+// fmtFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent for typical magnitudes.
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	ramiel "repro"
 )
@@ -12,19 +13,33 @@ import (
 // ErrShutdown is returned by Pool.Do once the pool is closing.
 var ErrShutdown = errors.New("serve: pool shut down")
 
+// Timing reports where a pooled execution spent its time. Ran is false when
+// the task never reached a worker (rejected, swept at shutdown, or the
+// submitter's context expired first), in which case Exec is zero and Queue
+// covers the wait until rejection.
+type Timing struct {
+	Queue time.Duration
+	Exec  time.Duration
+	Ran   bool
+}
+
 // taskResult carries one execution's outcome back to the submitter.
 type taskResult struct {
-	outs ramiel.Env
-	err  error
+	outs   ramiel.Env
+	timing Timing
+	err    error
 }
 
 // task is one unit of work: run fn under the submitter's context and
 // deliver the result. res is buffered so an abandoned (deadline-exceeded)
-// submitter never blocks a worker.
+// submitter never blocks a worker. submit timestamps the Do call so the
+// worker can attribute queue wait vs execution time without any extra
+// allocation — the fields ride the already-allocated task.
 type task struct {
-	ctx context.Context
-	fn  func(context.Context) (ramiel.Env, error)
-	res chan taskResult
+	ctx    context.Context
+	fn     func(context.Context) (ramiel.Env, error)
+	res    chan taskResult
+	submit time.Time
 }
 
 // Pool executes inference runs on a fixed set of worker goroutines with a
@@ -92,6 +107,8 @@ func (p *Pool) worker() {
 
 func (p *Pool) run(t *task) {
 	p.queued.Add(-1)
+	pickup := time.Now()
+	queue := pickup.Sub(t.submit)
 	ctx := t.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -99,7 +116,7 @@ func (p *Pool) run(t *task) {
 	// Skip work whose submitter already gave up.
 	select {
 	case <-ctx.Done():
-		t.res <- taskResult{err: ctx.Err()}
+		t.res <- taskResult{err: ctx.Err(), timing: Timing{Queue: queue}}
 		return
 	default:
 	}
@@ -112,22 +129,24 @@ func (p *Pool) run(t *task) {
 	}
 	outs, err := t.fn(ctx)
 	p.inflight.Add(-1)
-	t.res <- taskResult{outs: outs, err: err}
+	t.res <- taskResult{outs: outs, err: err,
+		timing: Timing{Queue: queue, Exec: time.Since(pickup), Ran: true}}
 }
 
-// Do runs fn on a pool worker, passing it ctx, and returns its result. It
-// blocks while the backlog is full (backpressure), honors ctx for queueing
-// and waiting, and fails fast with ErrShutdown once Close has begun. When
-// ctx expires while fn is already running, Do returns the ctx error
-// immediately and the cancellation propagates into fn — session runs
-// observe it between kernels, so the worker slot frees within one kernel's
-// duration instead of computing the abandoned request to completion.
-func (p *Pool) Do(ctx context.Context, fn func(context.Context) (ramiel.Env, error)) (ramiel.Env, error) {
-	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
+// Do runs fn on a pool worker, passing it ctx, and returns its result plus
+// a Timing attributing queue wait vs execution. It blocks while the backlog
+// is full (backpressure), honors ctx for queueing and waiting, and fails
+// fast with ErrShutdown once Close has begun. When ctx expires while fn is
+// already running, Do returns the ctx error immediately and the
+// cancellation propagates into fn — session runs observe it between
+// kernels, so the worker slot frees within one kernel's duration instead of
+// computing the abandoned request to completion.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context) (ramiel.Env, error)) (ramiel.Env, Timing, error) {
+	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1), submit: time.Now()}
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
-		return nil, ErrShutdown
+		return nil, Timing{}, ErrShutdown
 	}
 	p.senders.Add(1)
 	p.closeMu.RUnlock()
@@ -138,17 +157,17 @@ func (p *Pool) Do(ctx context.Context, fn func(context.Context) (ramiel.Env, err
 	case <-p.quit:
 		p.senders.Done()
 		p.queued.Add(-1)
-		return nil, ErrShutdown
+		return nil, Timing{Queue: time.Since(t.submit)}, ErrShutdown
 	case <-ctx.Done():
 		p.senders.Done()
 		p.queued.Add(-1)
-		return nil, ctx.Err()
+		return nil, Timing{Queue: time.Since(t.submit)}, ctx.Err()
 	}
 	select {
 	case r := <-t.res:
-		return r.outs, r.err
+		return r.outs, r.timing, r.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, Timing{Queue: time.Since(t.submit)}, ctx.Err()
 	}
 }
 

@@ -12,6 +12,20 @@
 // once and amortizes it across every subsequent request, while
 // hyperclustering turns queued-up concurrent requests into intra-request
 // parallelism instead of mere throughput.
+//
+// The runtime carries an always-on, lock-free observability layer (see
+// internal/obs): per-model × per-stage latency histograms (batch assembly,
+// queue wait, execute, end-to-end), cause-labeled error counters, per-op
+// execution totals from the executor, and a lock-striped ring of recent and
+// slow request spans. Handler exposes it over HTTP:
+//
+//	POST /v1/infer    — run inference (X-Request-ID echoes the span ID)
+//	GET  /v1/models   — registered models
+//	GET  /v1/stats    — counters, stage histograms, per-op time, arenas
+//	GET  /v1/trace    — recent + slow request spans (?n= limits, ?slow=1)
+//	GET  /metrics     — Prometheus text exposition of all of the above
+//	GET  /healthz     — liveness (the process serves HTTP)
+//	GET  /readyz      — readiness (the preload set has compiled)
 package serve
 
 import (
@@ -27,6 +41,11 @@ import (
 
 // ErrNotRegistered marks requests for unknown models.
 var ErrNotRegistered = errors.New("model not registered")
+
+// ErrCompile marks failures to build or compile a model (or one of its
+// batch variants), so the serving layer's cause-labeled error counters can
+// separate compile failures from execution failures.
+var ErrCompile = errors.New("compile failed")
 
 // ModelSource lazily builds a model graph; registered per model name so
 // the registry can (re)build graphs without holding every model in memory
@@ -204,7 +223,7 @@ func (r *Registry) Graph(model string) (*ramiel.Graph, error) {
 		<-e.ready
 	}
 	if e.err != nil {
-		return nil, fmt.Errorf("serve: building %q: %w", model, e.err)
+		return nil, fmt.Errorf("serve: building %q: %w: %w", model, ErrCompile, e.err)
 	}
 	return e.graph, nil
 }
@@ -276,7 +295,7 @@ func (r *Registry) compile(model string, batch int) (*ramiel.Program, error) {
 		}
 		prog, err := ramiel.CompileWithOptions(g, r.opts)
 		if err != nil {
-			return nil, fmt.Errorf("serve: compiling %q: %w", model, err)
+			return nil, fmt.Errorf("serve: compiling %q: %w: %w", model, ErrCompile, err)
 		}
 		return prog, nil
 	}
@@ -286,7 +305,7 @@ func (r *Registry) compile(model string, batch int) (*ramiel.Program, error) {
 	}
 	prog, err := base.Hypercluster(batch, r.switched)
 	if err != nil {
-		return nil, fmt.Errorf("serve: hyperclustering %q batch %d: %w", model, batch, err)
+		return nil, fmt.Errorf("serve: hyperclustering %q batch %d: %w: %w", model, batch, ErrCompile, err)
 	}
 	return prog, nil
 }

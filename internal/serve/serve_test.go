@@ -284,7 +284,7 @@ func TestPoolBoundsInFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := p.Do(context.Background(), func(context.Context) (ramiel.Env, error) {
+			_, _, err := p.Do(context.Background(), func(context.Context) (ramiel.Env, error) {
 				time.Sleep(2 * time.Millisecond)
 				return nil, nil
 			})
@@ -310,7 +310,7 @@ func TestPoolHonorsDeadline(t *testing.T) {
 	time.Sleep(5 * time.Millisecond) // let the blocker occupy the worker
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, err := p.Do(ctx, func(context.Context) (ramiel.Env, error) { return nil, nil })
+	_, _, err := p.Do(ctx, func(context.Context) (ramiel.Env, error) { return nil, nil })
 	close(block)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want DeadlineExceeded", err)

@@ -2,13 +2,14 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ramiel "repro"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -35,6 +36,19 @@ type Config struct {
 	// across requests, so steady-state inference performs no per-request
 	// intermediate-tensor allocation.
 	NoArena bool
+	// NoObs disables serve-layer telemetry: per-model stage-latency
+	// histograms and request tracing are simply never allocated (the record
+	// paths are nil-safe no-ops). Counters stay on — they are single atomic
+	// adds. Default false: telemetry is always on, and designed to be cheap
+	// enough to leave on (zero allocations per request).
+	NoObs bool
+	// TraceDepth is the capacity of each request-trace ring (recent and
+	// slow), rounded up to a power of two. Default 256.
+	TraceDepth int
+	// SlowThreshold routes requests at or above this end-to-end latency
+	// into the dedicated slow-trace ring, so rare tail-latency offenders
+	// survive the churn of the recent ring. Default 100ms.
+	SlowThreshold time.Duration
 	// Compile sets the Ramiel pipeline options used for every model.
 	Compile ramiel.Options
 }
@@ -55,15 +69,43 @@ func (c Config) withDefaults() Config {
 	if c.Deadline <= 0 {
 		c.Deadline = 30 * time.Second
 	}
+	if c.TraceDepth < 1 {
+		c.TraceDepth = 256
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
 	return c
+}
+
+// stageTimes carries a request's per-stage wall time out of dispatch. It is
+// passed by value — no allocation on the serving hot path. ran is false
+// when the request never reached a pool worker (its exec time would be
+// meaningless, so exec-stage histograms skip it).
+type stageTimes struct {
+	assembly time.Duration // micro-batch window wait (batched path only)
+	queue    time.Duration // pool wait: enqueue → worker pickup
+	exec     time.Duration // session run on the worker
+	ran      bool
 }
 
 // InferMeta reports how a request was served.
 type InferMeta struct {
+	// RequestID is the server-assigned sequence number of the request,
+	// echoed as X-Request-ID by the HTTP layer and keying its trace span.
+	RequestID uint64
 	// BatchSize is the coalesced batch the request rode in (1 = solo).
 	BatchSize int
 	// Latency is the end-to-end service time.
 	Latency time.Duration
+	// BatchWait is the time spent waiting for micro-batch companions
+	// (zero on the unbatched path).
+	BatchWait time.Duration
+	// QueueWait is the time spent queued for a pool worker.
+	QueueWait time.Duration
+	// Exec is the session-run time on the worker (shared by all members of
+	// a coalesced batch).
+	Exec time.Duration
 }
 
 // Server is the serving runtime: registry + pool + per-model batchers.
@@ -78,6 +120,15 @@ type Server struct {
 	batchers map[string]*batcher
 	stats    map[string]*ModelStats
 	closed   bool
+
+	// obs gates serve-layer telemetry (stage histograms + trace rings);
+	// when false, traces/slow are nil and ModelStats.stages stays nil —
+	// all record paths are nil-safe no-ops.
+	obs    bool
+	traces *obs.TraceRing // most recent requests
+	slow   *obs.TraceRing // requests at or above cfg.SlowThreshold
+	reqID  atomic.Uint64  // request ID sequence
+	ready  atomic.Bool    // flipped by Warm/MarkReady; read by /readyz
 
 	start time.Time
 }
@@ -97,7 +148,12 @@ func New(cfg Config) *Server {
 		sessions: newSessionSource(!cfg.NoArena),
 		batchers: map[string]*batcher{},
 		stats:    map[string]*ModelStats{},
+		obs:      !cfg.NoObs,
 		start:    time.Now(),
+	}
+	if s.obs {
+		s.traces = obs.NewTraceRing(cfg.TraceDepth)
+		s.slow = obs.NewTraceRing(cfg.TraceDepth)
 	}
 	return s
 }
@@ -125,7 +181,8 @@ func (s *Server) RegisterGraph(name string, g *ramiel.Graph) {
 
 // Warm precompiles the batch-1 program for each named model (all
 // registered models when names is empty), so first requests don't pay the
-// compile.
+// compile. On success the server reports ready (see Ready); deployments
+// that skip warming should call MarkReady explicitly.
 func (s *Server) Warm(names ...string) error {
 	if len(names) == 0 {
 		names = s.reg.Models()
@@ -135,8 +192,27 @@ func (s *Server) Warm(names ...string) error {
 			return err
 		}
 	}
+	s.MarkReady()
 	return nil
 }
+
+// MarkReady flips the readiness gate (see Ready). Warm calls it on success;
+// deployments that serve without preloading call it directly.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Ready reports whether the server has finished preloading (Warm succeeded
+// or MarkReady was called). Distinct from liveness: a live server that is
+// still compiling its preload set is not yet ready for traffic.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Traces returns up to n most-recent request spans, newest first (n <= 0
+// means all retained). Nil when telemetry is disabled.
+func (s *Server) Traces(n int) []obs.Span { return s.traces.Snapshot(n) }
+
+// SlowTraces returns up to n retained slow-request spans (end-to-end
+// latency >= Config.SlowThreshold), newest first. Nil when telemetry is
+// disabled.
+func (s *Server) SlowTraces(n int) []obs.Span { return s.slow.Snapshot(n) }
 
 // statsLocked returns (creating on demand) the stats block for a model.
 // Caller holds s.mu.
@@ -144,6 +220,9 @@ func (s *Server) statsLocked(model string) *ModelStats {
 	st, ok := s.stats[model]
 	if !ok {
 		st = &ModelStats{}
+		if s.obs {
+			st.stages = &obs.StageSet{}
+		}
 		s.stats[model] = st
 	}
 	return st
@@ -187,6 +266,7 @@ func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	if !s.reg.Registered(model) {
 		return nil, InferMeta{}, fmt.Errorf("serve: model %q: %w", model, ErrNotRegistered)
 	}
+	id := s.reqID.Add(1)
 	st := s.modelStats(model)
 	st.Requests.Add(1)
 	if _, ok := ctx.Deadline(); !ok {
@@ -195,39 +275,81 @@ func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 		defer cancel()
 	}
 
-	outs, batchSize, err := s.dispatch(ctx, model, feeds, noBatch)
-	meta := InferMeta{BatchSize: batchSize, Latency: time.Since(start)}
-	st.LatencyMicros.Add(meta.Latency.Microseconds())
+	outs, batchSize, ts, err := s.dispatch(ctx, model, feeds, noBatch)
+	total := time.Since(start)
+	meta := InferMeta{
+		RequestID: id,
+		BatchSize: batchSize,
+		Latency:   total,
+		BatchWait: ts.assembly,
+		QueueWait: ts.queue,
+		Exec:      ts.exec,
+	}
+	cause := causeOf(err)
+	st.noteError(cause)
+	s.record(st, model, meta, ts, start, cause, err)
 	if err != nil {
-		// A canceled client is not a model failure; keep Errors meaningful
-		// for monitoring.
-		if !errors.Is(err, context.Canceled) {
-			st.Errors.Add(1)
-		}
 		return nil, meta, err
 	}
 	return outs, meta, nil
 }
 
-func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, error) {
+// record feeds one finished request into the stage histograms and trace
+// rings. Everything here is lock-free or per-slot-locked and allocates
+// nothing; with telemetry off every call is a nil-receiver no-op.
+func (s *Server) record(st *ModelStats, model string, meta InferMeta, ts stageTimes, start time.Time, cause ErrorCause, err error) {
+	if !s.obs {
+		return
+	}
+	h := st.stages
+	h.Record(obs.StageE2E, meta.Latency)
+	if meta.BatchWait > 0 {
+		h.Record(obs.StageAssembly, meta.BatchWait)
+	}
+	if ts.ran {
+		h.Record(obs.StageQueue, meta.QueueWait)
+		h.Record(obs.StageExec, meta.Exec)
+	}
+	sp := obs.Span{
+		ID:         meta.RequestID,
+		Model:      model,
+		Batch:      meta.BatchSize,
+		Start:      start,
+		AssemblyNs: int64(meta.BatchWait),
+		QueueNs:    int64(meta.QueueWait),
+		ExecNs:     int64(meta.Exec),
+		TotalNs:    int64(meta.Latency),
+	}
+	if err != nil {
+		sp.Cause = cause.String()
+		sp.Error = err.Error()
+	}
+	s.traces.Record(sp)
+	if meta.Latency >= s.cfg.SlowThreshold {
+		s.slow.Record(sp)
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, stageTimes, error) {
 	if s.cfg.MaxBatch > 1 && !noBatch {
 		b := s.batcher(model)
 		if b == nil {
-			return nil, 0, ErrShutdown
+			return nil, 0, stageTimes{}, ErrShutdown
 		}
 		return b.submit(ctx, feeds)
 	}
 	prog, err := s.reg.Program(model, 1)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, stageTimes{}, err
 	}
-	outs, err := s.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
+	outs, timing, err := s.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
 		return s.sessions.run(runCtx, prog, feeds)
 	})
+	ts := stageTimes{queue: timing.Queue, exec: timing.Exec, ran: timing.Ran}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, ts, err
 	}
-	return outs, 1, nil
+	return outs, 1, ts, nil
 }
 
 // RandomFeeds builds a deterministic valid request for the model — the

@@ -1,15 +1,94 @@
 package serve
 
-import "sync/atomic"
+import (
+	"context"
+	"errors"
+	"sync/atomic"
 
-// ModelStats counts per-model serving activity. All fields are atomics so
-// the hot path never takes a lock; Snapshot gives a consistent-enough view
-// for reporting.
+	ramiel "repro"
+	"repro/internal/obs"
+)
+
+// ErrorCause labels what went wrong with a failed request, for the
+// cause-split error counters, the trace spans, and error responses.
+type ErrorCause int
+
+const (
+	// CauseNone means the request succeeded.
+	CauseNone ErrorCause = iota
+	// CauseValidation: the feeds failed validation (missing, unknown or
+	// mis-shaped inputs) — a client error, not a model failure.
+	CauseValidation
+	// CauseCompile: building or compiling the model (or its batch variant)
+	// failed.
+	CauseCompile
+	// CauseExecution: a kernel or lane failed during the run.
+	CauseExecution
+	// CauseDeadline: the request or batch deadline expired.
+	CauseDeadline
+	// CauseCanceled: the client went away (context canceled). Counted under
+	// its own label but excluded from the Errors total, as before — a
+	// canceled client is not a model failure.
+	CauseCanceled
+	// CauseShutdown: the request arrived while the server was draining.
+	CauseShutdown
+	numCauses
+)
+
+// String returns the stable label used in JSON and metric labels.
+func (c ErrorCause) String() string {
+	switch c {
+	case CauseNone:
+		return ""
+	case CauseValidation:
+		return "validation"
+	case CauseCompile:
+		return "compile"
+	case CauseExecution:
+		return "execution"
+	case CauseDeadline:
+		return "deadline"
+	case CauseCanceled:
+		return "canceled"
+	case CauseShutdown:
+		return "shutdown"
+	}
+	return "unknown"
+}
+
+// causeOf classifies a serving error. Deadline/cancel are checked first:
+// an expired batch surfaces as the bare context error even when the root
+// run failed with it mid-kernel.
+func causeOf(err error) ErrorCause {
+	switch {
+	case err == nil:
+		return CauseNone
+	case errors.Is(err, context.Canceled):
+		return CauseCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CauseDeadline
+	case errors.Is(err, ramiel.ErrInvalidFeeds):
+		return CauseValidation
+	case errors.Is(err, ErrCompile):
+		return CauseCompile
+	case errors.Is(err, ErrShutdown), errors.Is(err, ErrBatcherClosed):
+		return CauseShutdown
+	default:
+		return CauseExecution
+	}
+}
+
+// ModelStats counts per-model serving activity. All counters are atomics
+// and the stage histograms are lock-free, so the hot path never takes a
+// lock; Snapshot gives a consistent-enough view for reporting.
 type ModelStats struct {
 	// Requests is every Infer call routed to the model.
 	Requests atomic.Int64
-	// Errors counts failed requests (compile, execution or deadline).
+	// Errors counts failed requests. Canceled clients are excluded (they
+	// are not model failures) but appear under their own cause label.
 	Errors atomic.Int64
+	// errsByCause splits failures by ErrorCause.
+	errsByCause [numCauses]atomic.Int64
 	// Batched counts requests that were served inside a coalesced
 	// micro-batch of size > 1 (i.e. through a hyperclustered plan).
 	Batched atomic.Int64
@@ -23,9 +102,12 @@ type ModelStats struct {
 	// micro-batcher; PeakQueueDepth its high-water mark.
 	QueueDepth     atomic.Int64
 	PeakQueueDepth atomic.Int64
-	// LatencyMicros accumulates end-to-end request latency, so
-	// LatencyMicros/Requests is the mean service latency.
-	LatencyMicros atomic.Int64
+	// stages holds the per-stage latency histograms (batch assembly, queue
+	// wait, execute, end-to-end) that replaced the old mean-only latency
+	// accumulator: p50/p90/p99/max per stage instead of one average. Nil
+	// when the server runs with telemetry disabled (Config.NoObs) — the
+	// Record path is nil-safe.
+	stages *obs.StageSet
 }
 
 // noteQueued bumps the batcher queue gauge and its high-water mark.
@@ -54,22 +136,43 @@ func (m *ModelStats) noteBatch(n int) {
 	}
 }
 
+// noteError records one failed request under its cause.
+func (m *ModelStats) noteError(c ErrorCause) {
+	if c == CauseNone {
+		return
+	}
+	m.errsByCause[c].Add(1)
+	if c != CauseCanceled {
+		m.Errors.Add(1)
+	}
+}
+
+// Stages returns the model's stage-histogram set (nil when telemetry is
+// disabled); Record on it is nil-safe.
+func (m *ModelStats) Stages() *obs.StageSet { return m.stages }
+
 // ModelStatsSnapshot is the JSON view of ModelStats.
 type ModelStatsSnapshot struct {
-	Requests       int64 `json:"requests"`
-	Errors         int64 `json:"errors"`
-	Batched        int64 `json:"batched"`
-	Flushes        int64 `json:"flushes"`
-	FlushedSamples int64 `json:"flushed_samples"`
-	MaxBatchSeen   int64 `json:"max_batch_seen"`
-	QueueDepth     int64 `json:"queue_depth"`
-	PeakQueueDepth int64 `json:"peak_queue_depth"`
-	LatencyMicros  int64 `json:"latency_micros"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// ErrorsByCause splits failures by cause label (validation, compile,
+	// execution, deadline, canceled, shutdown); only non-zero causes appear.
+	ErrorsByCause  map[string]int64 `json:"errors_by_cause,omitempty"`
+	Batched        int64            `json:"batched"`
+	Flushes        int64            `json:"flushes"`
+	FlushedSamples int64            `json:"flushed_samples"`
+	MaxBatchSeen   int64            `json:"max_batch_seen"`
+	QueueDepth     int64            `json:"queue_depth"`
+	PeakQueueDepth int64            `json:"peak_queue_depth"`
+	// Stages carries the per-stage latency histograms (count, sum, max,
+	// p50/p90/p99 in ns), keyed by stage label. Absent with telemetry off
+	// or before the first request.
+	Stages map[string]obs.HistogramSnapshot `json:"stages,omitempty"`
 }
 
 // Snapshot reads the counters.
 func (m *ModelStats) Snapshot() ModelStatsSnapshot {
-	return ModelStatsSnapshot{
+	snap := ModelStatsSnapshot{
 		Requests:       m.Requests.Load(),
 		Errors:         m.Errors.Load(),
 		Batched:        m.Batched.Load(),
@@ -78,6 +181,15 @@ func (m *ModelStats) Snapshot() ModelStatsSnapshot {
 		MaxBatchSeen:   m.MaxBatchSeen.Load(),
 		QueueDepth:     m.QueueDepth.Load(),
 		PeakQueueDepth: m.PeakQueueDepth.Load(),
-		LatencyMicros:  m.LatencyMicros.Load(),
+		Stages:         m.stages.Snapshot(),
 	}
+	for c := CauseNone + 1; c < numCauses; c++ {
+		if n := m.errsByCause[c].Load(); n > 0 {
+			if snap.ErrorsByCause == nil {
+				snap.ErrorsByCause = make(map[string]int64, int(numCauses))
+			}
+			snap.ErrorsByCause[c.String()] = n
+		}
+	}
+	return snap
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hyper"
 	"repro/internal/memplan"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/onnx"
 	"repro/internal/ops"
 	"repro/internal/passes"
@@ -52,6 +53,9 @@ type (
 	Arena = tensor.Arena
 	// ArenaStats aggregates arena counters, shareable between arenas.
 	ArenaStats = tensor.ArenaStats
+	// OpTotal is one operator type's measured execution totals
+	// (invocations + cumulative ns) from a program's live counters.
+	OpTotal = obs.OpTotal
 )
 
 // NewArena creates an empty tensor arena for Program.RunArena. Keep it
@@ -266,6 +270,14 @@ func (p *Program) MemoryPlan() *memplan.Plan { return p.Plan.MemoryPlan() }
 func (p *Program) PrepackedWeights() (nodes int, bytes int64) {
 	return p.Plan.PrepackWeights()
 }
+
+// OpTotals reports the program's live per-op execution totals — kernel
+// invocations and cumulative time per operator type, accumulated across
+// every run of the program since it was compiled, sorted by cumulative
+// time descending. Empty until the program has run. This is the measured
+// counterpart of the static cost model: it shows where execution time
+// actually goes on this host.
+func (p *Program) OpTotals() []OpTotal { return p.Plan.OpTotals() }
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 //

@@ -15,6 +15,12 @@ import (
 // create one Session per goroutine (they may all share one Program).
 var ErrSessionBusy = errors.New("ramiel: session is running; a Session serves one goroutine — create one per goroutine")
 
+// ErrInvalidFeeds marks feed-validation failures (missing, unknown or
+// mis-shaped inputs) from ValidateFeeds/Session.Run, so callers — the
+// serving layer's cause-labeled error counters in particular — can classify
+// bad requests without string matching.
+var ErrInvalidFeeds = errors.New("invalid feeds")
+
 // sessionConfig is the resolved NewSession configuration.
 type sessionConfig struct {
 	arena     *Arena
@@ -185,5 +191,5 @@ func (p *Program) ValidateFeeds(feeds Env) error {
 	if len(mismatched) > 0 {
 		parts = append(parts, "shape mismatches: "+strings.Join(mismatched, "; "))
 	}
-	return fmt.Errorf("ramiel: invalid feeds for %q: %s", p.Graph.Name, strings.Join(parts, "; "))
+	return fmt.Errorf("ramiel: %w for %q: %s", ErrInvalidFeeds, p.Graph.Name, strings.Join(parts, "; "))
 }
