@@ -289,6 +289,45 @@ func BenchmarkServeObs(b *testing.B) {
 	}
 }
 
+// BenchmarkServeTimeline measures the serving hot path with the execution
+// timeline flight recorder off (the default) vs sampling 1 run in 32. Run
+// with -benchmem: the "off" variant must match the plain serving numbers
+// exactly (the recorder costs one atomic load per run when absent), while
+// "on" shows the amortized cost of the sampled runs' span capture.
+func BenchmarkServeTimeline(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		every int
+	}{{"off", 0}, {"on", 32}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := serve.New(serve.Config{Workers: 2, MaxBatch: 1, TimelineEvery: bc.every})
+			defer s.Close(context.Background())
+			if err := s.RegisterZoo(ramiel.ModelConfig{ImageSize: 16}, "squeezenet"); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Warm(); err != nil {
+				b.Fatal(err)
+			}
+			feeds, err := s.RandomFeeds("squeezenet", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Infer(context.Background(), "squeezenet", feeds, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkServeCompilePerRequest(b *testing.B) {
 	g := models.MustBuild("squeezenet", models.Config{ImageSize: 16})
 	feeds := ramiel.RandomInputs(g, 1)

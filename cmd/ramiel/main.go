@@ -16,9 +16,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -26,6 +28,7 @@ import (
 
 	ramiel "repro"
 	"repro/internal/exec"
+	"repro/internal/profile"
 )
 
 func main() {
@@ -48,6 +51,11 @@ func main() {
 	run := flag.Bool("run", false, "execute parallel + sequential and verify")
 	arena := flag.Bool("arena", true, "use arena-backed tensor memory for -run")
 	report := flag.Bool("report", false, "print metrics, clusters and simulation")
+	timelineOut := flag.String("timeline", "", "with -run: write the timed run's execution timeline as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
+	profileOut := flag.String("profile-out", "", "with -run: write the timed run's lane trace (and per-op spans) as profile JSON")
+	calibrate := flag.Bool("calibrate", false, "run calibration reps and report measured op cost vs the static model")
+	calibrateReps := flag.Int("calibrate-reps", 5, "parallel executions to accumulate for -calibrate")
+	calibrateOut := flag.String("calibrate-out", "", "with -calibrate: write the full calibration report as JSON")
 	codegen := flag.String("codegen", "", "write generated parallel Go code to this file")
 	save := flag.String("save", "", "save the optimized model to this file")
 	dot := flag.String("dot", "", "write a Graphviz rendering colored by cluster")
@@ -101,6 +109,13 @@ func main() {
 	}
 
 	ramiel.SetIntraOpThreads(*intra)
+	if (*timelineOut != "" || *profileOut != "") && !*run {
+		log.Fatal("-timeline and -profile-out need -run")
+	}
+	if *timelineOut != "" || *profileOut != "" {
+		// Sample every run so the timed run in runAndVerify is captured.
+		prog.EnableTimeline(1, 4)
+	}
 	did := false
 	if *report {
 		did = true
@@ -108,7 +123,28 @@ func main() {
 	}
 	if *run {
 		did = true
-		if err := runAndVerify(prog, *seed, *arena, *report); err != nil {
+		prof, err := runAndVerify(prog, *seed, *arena, *report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *timelineOut != "" {
+			if err := exportTimeline(prog, g.Name, *timelineOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *profileOut != "" {
+			t := profile.FromProfile(g.Name, prof)
+			t.AttachTimeline(prog.LastTimeline())
+			if err := t.Save(*profileOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote lane profile (%d lanes, %d op spans) to %s\n",
+				len(t.Lanes), len(t.Ops), *profileOut)
+		}
+	}
+	if *calibrate {
+		did = true
+		if err := runCalibration(prog, *seed, *calibrateReps, *calibrateOut); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -148,7 +184,7 @@ func main() {
 		fmt.Printf("  wrote DOT to %s\n", *dot)
 	}
 	if !did {
-		fmt.Println("  (no action requested: use -run, -report, -codegen, -save or -dot)")
+		fmt.Println("  (no action requested: use -run, -report, -calibrate, -codegen, -save or -dot)")
 	}
 }
 
@@ -223,7 +259,7 @@ func printReport(prog *ramiel.Program) {
 		res.TotalWork/1000, res.Makespan/1000, res.Speedup())
 }
 
-func runAndVerify(prog *ramiel.Program, seed uint64, useArena, report bool) error {
+func runAndVerify(prog *ramiel.Program, seed uint64, useArena, report bool) (*exec.Profile, error) {
 	ctx := context.Background()
 	feeds := ramiel.RandomInputs(prog.Graph, seed)
 	// One reusable session carries the run configuration (arena, profiling)
@@ -236,27 +272,27 @@ func runAndVerify(prog *ramiel.Program, seed uint64, useArena, report bool) erro
 	// Warm both paths untimed so the printed speedup compares steady
 	// states: sequential vs parallel, not cold-start vs warm-arena.
 	if _, err := prog.RunSequential(feeds); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := sess.Run(ctx, feeds); err != nil {
-		return err
+		return nil, err
 	}
 	t0 := time.Now()
 	want, err := prog.RunSequential(feeds)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
 	got, err := sess.Run(ctx, feeds)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	par := time.Since(t0)
 	prof := sess.Profile()
 	for k, w := range want {
 		if !got[k].AllClose(w, 1e-4, 1e-5) {
-			return fmt.Errorf("output %q differs between parallel and sequential run", k)
+			return nil, fmt.Errorf("output %q differs between parallel and sequential run", k)
 		}
 	}
 	fmt.Printf("  run: sequential %v, parallel %v (%.2fx on this host), outputs verified\n",
@@ -275,7 +311,7 @@ func runAndVerify(prog *ramiel.Program, seed uint64, useArena, report bool) erro
 	if report {
 		printOpTable(prog, 8)
 	}
-	return nil
+	return prof, nil
 }
 
 // printOpTable prints the top-n operator types of the program by measured
@@ -300,6 +336,94 @@ func printOpTable(prog *ramiel.Program, n int) {
 			t.Op, t.Count, time.Duration(t.TotalNs).Round(time.Microsecond),
 			100*float64(t.TotalNs)/float64(sum))
 	}
+}
+
+// exportTimeline writes the last sampled run's timeline as Chrome
+// trace-event JSON and prints the measured critical path it implies.
+func exportTimeline(prog *ramiel.Program, model, path string) error {
+	tl := prog.LastTimeline()
+	if tl == nil {
+		return fmt.Errorf("no timeline recorded")
+	}
+	data, err := tl.ChromeTrace(model)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote Chrome trace (%d spans, %d lanes, wall %v) to %s\n",
+		len(tl.Spans), tl.Lanes, time.Duration(tl.WallNs).Round(time.Microsecond), path)
+	rep, err := prog.CriticalPathFromTimeline(tl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  measured critical path: %d steps, op %v + wait %v of wall %v (%.0f%% on the statically predicted path)\n",
+		len(rep.Steps), time.Duration(rep.OpNs).Round(time.Microsecond),
+		time.Duration(rep.WaitNs).Round(time.Microsecond),
+		time.Duration(rep.WallNs).Round(time.Microsecond), 100*rep.Overlap)
+	n := len(rep.Steps)
+	for i, st := range rep.Steps {
+		if n > 10 && i >= 5 && i < n-5 {
+			if i == 5 {
+				fmt.Printf("    ... %d more steps ...\n", n-10)
+			}
+			continue
+		}
+		fmt.Printf("    lane %2d %-24s %-12s %10v (+%v wait)\n",
+			st.Lane, st.Node, st.Op,
+			time.Duration(st.DurNs).Round(time.Microsecond),
+			time.Duration(st.WaitNs).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// runCalibration accumulates reps parallel executions and compares the
+// measured per-op costs against the static model driving clustering — the
+// feedback loop of ROADMAP item 5 (profile-guided re-clustering).
+func runCalibration(prog *ramiel.Program, seed uint64, reps int, out string) error {
+	ctx := context.Background()
+	feeds := ramiel.RandomInputs(prog.Graph, seed)
+	sess := prog.NewSession()
+	for i := 0; i < max(reps, 1); i++ {
+		if _, err := sess.Run(ctx, feeds); err != nil {
+			return err
+		}
+	}
+	c := prog.Calibrate()
+	if c == nil {
+		return fmt.Errorf("calibration recorded no op executions")
+	}
+	fmt.Printf("  calibration: %d nodes over %d reps, baseline %.4g us/weight, rank correlation %.3f\n",
+		c.Nodes, max(reps, 1), c.BaselineUsPerWt, c.RankCorrelation)
+	fmt.Printf("    %-16s %6s %12s %10s %8s %8s\n", "op", "calls", "total", "mean", "static", "ratio")
+	for _, oc := range c.Ops {
+		fmt.Printf("    %-16s %6d %12v %8.1fus %8.0f %7.2fx\n",
+			oc.Op, oc.Count, time.Duration(oc.TotalNs).Round(time.Microsecond),
+			oc.MeanUs, oc.StaticWt, oc.Ratio)
+	}
+	if len(c.Worst) > 0 {
+		fmt.Println("  worst static-model offenders (|log2 measured/static| desc):")
+		for _, oc := range c.Worst {
+			dir := "slower"
+			if oc.Log2Ratio < 0 {
+				dir = "faster"
+			}
+			fmt.Printf("    %-16s %.1fx %s than the static weight predicts\n",
+				oc.Op, math.Pow(2, math.Abs(oc.Log2Ratio)), dir)
+		}
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote calibration report to %s\n", out)
+	}
+	return nil
 }
 
 // fmtBytes renders a byte count with a binary unit.

@@ -18,13 +18,18 @@
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/trace?n=20        # recent request spans
 //	curl localhost:8080/v1/trace?slow=1      # tail-latency offenders
+//	curl localhost:8080/v1/stats?calibration=1   # measured vs static op cost
+//	curl 'localhost:8080/v1/timeline?model=squeezenet' > trace.json  # Perfetto
 //	curl localhost:8080/metrics              # Prometheus text exposition
 //	curl localhost:8080/readyz               # readiness (preload compiled)
 //
 // Telemetry (stage-latency histograms, request tracing) is always on and
 // costs no allocations per request; -obs=false switches it off for A/B
-// overhead measurements. -pprof additionally mounts net/http/pprof under
-// /debug/pprof/ for live CPU and heap profiles.
+// overhead measurements. -timeline N additionally samples every Nth plan
+// execution into the per-op timeline flight recorder (sampled runs allocate,
+// so it defaults to off); the latest sampled run is exported as Chrome
+// trace-event JSON at GET /v1/timeline. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ for live CPU and heap profiles.
 package main
 
 import (
@@ -66,6 +71,7 @@ func main() {
 	fusion := flag.Bool("fusion", true, "compile with operator fusion (BN folding, kernel epilogues, fused elementwise chains)")
 	warm := flag.Bool("warm", true, "precompile batch-1 programs at startup")
 	obsOn := flag.Bool("obs", true, "serve-layer telemetry: stage-latency histograms and request tracing")
+	timelineEvery := flag.Int("timeline", 0, "sample every Nth execution into the timeline flight recorder (0 disables; exported at GET /v1/timeline)")
 	traceDepth := flag.Int("trace-depth", 256, "request-trace ring capacity (recent and slow rings)")
 	slowTrace := flag.Duration("slow-trace", 100*time.Millisecond, "e2e latency at which a request also enters the slow-trace ring")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -81,6 +87,7 @@ func main() {
 		NoObs:         !*obsOn,
 		TraceDepth:    *traceDepth,
 		SlowThreshold: *slowTrace,
+		TimelineEvery: *timelineEvery,
 		Compile:       ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
 	})
 
@@ -119,8 +126,8 @@ func main() {
 		// No preload set to wait for; ready as soon as we can listen.
 		srv.MarkReady()
 	}
-	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v, obs %v)",
-		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion, *obsOn)
+	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v, obs %v, timeline %d)",
+		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion, *obsOn, *timelineEvery)
 
 	handler := srv.Handler()
 	if *pprofOn {

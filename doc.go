@@ -46,6 +46,19 @@
 // GET /v1/stats, /v1/trace and /metrics (Prometheus text format), next to
 // POST /v1/infer, GET /v1/models, /healthz and /readyz.
 //
+// For when the aggregates are not enough, Program.EnableTimeline attaches
+// an execution-timeline flight recorder that samples one run in N into
+// complete per-lane span timelines (operator kernels, blocked cross-lane
+// receives, channel sends); the unsampled path costs one atomic load and
+// allocates nothing. A sampled run (Program.LastTimeline) exports as
+// Chrome trace-event JSON (RunTimeline.ChromeTrace — load it in Perfetto
+// or chrome://tracing; also GET /v1/timeline on ramield, and ramiel -run
+// -timeline), drives the measured critical-path analysis
+// (Program.CriticalPathFromTimeline) against the static prediction, and
+// Program.Calibrate compares the static cost model with the live per-op
+// measurements (ramiel -calibrate, /v1/stats?calibration=1) — the
+// profile-guided feedback loop behind cost.StaticModel.Rescale.
+//
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the system inventory, serving-layer architecture,
 // observability design, ramield quickstart and experiment index.

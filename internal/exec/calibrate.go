@@ -1,0 +1,256 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+)
+
+// OpCalibration is one operator type's row of a calibration report: how the
+// static cost model's weight for the op compares to its live measured cost.
+type OpCalibration struct {
+	Op string `json:"op"`
+	// Nodes is how many plan nodes of this type have executed; Count and
+	// TotalNs are their cumulative invocations and kernel time.
+	Nodes   int   `json:"nodes"`
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	// MeanUs is the measured mean kernel time per invocation.
+	MeanUs float64 `json:"mean_us"`
+	// StaticWt is the mean static weight the cost model assigns the op's
+	// nodes (kernel-size scaling included, so Conv nodes can differ).
+	StaticWt float64 `json:"static_weight"`
+	// UsPerWeight is measured µs per static weight unit for this op; Ratio
+	// normalizes it by the plan-wide baseline, so Ratio > 1 means the
+	// static model undercosts the op and Ratio < 1 means it overcosts it.
+	UsPerWeight float64 `json:"us_per_weight"`
+	Ratio       float64 `json:"ratio"`
+	// Log2Ratio is log2(Ratio) — the symmetric divergence the worst-offender
+	// ranking sorts by (2x under- and 2x overcosting are equally wrong).
+	Log2Ratio float64 `json:"log2_ratio"`
+}
+
+// Calibration compares the static cost model against the plan's live
+// per-node execution counters: a per-op ratio table, the rank correlation
+// between predicted and measured node costs, the worst-diverging ops, and a
+// MeasuredModel snapshot directly consumable as the measured-cost input to
+// profile-guided recompilation.
+type Calibration struct {
+	// Nodes is how many plan nodes have measurements (opCount > 0).
+	Nodes int `json:"nodes"`
+	// BaselineUsPerWt is the plan-wide measured µs per static weight unit —
+	// the conversion factor a perfectly-proportional static model would
+	// make exact for every op.
+	BaselineUsPerWt float64 `json:"baseline_us_per_weight"`
+	// RankCorrelation is the Spearman rank correlation between static node
+	// cost and measured mean node time across all measured nodes: 1.0 means
+	// the static model orders every pair of nodes correctly (which is all
+	// a scheduler needs), 0 means no relationship.
+	RankCorrelation float64 `json:"rank_correlation"`
+	// Ops is the per-op table, sorted by cumulative measured time
+	// descending; Worst repeats the most divergent entries (largest
+	// |Log2Ratio|, most divergent first, at most five).
+	Ops   []OpCalibration `json:"ops"`
+	Worst []OpCalibration `json:"worst,omitempty"`
+	// Measured is the per-node measured-cost model (mean µs per node), the
+	// exec.MeasuredModel shape the recompilation path consumes.
+	Measured *MeasuredModel `json:"measured"`
+}
+
+// Factors returns the per-op correction factors (measured ratio per op),
+// the input shape cost.StaticModel.Rescale takes to produce a calibrated
+// static model.
+func (c *Calibration) Factors() map[string]float64 {
+	f := make(map[string]float64, len(c.Ops))
+	for _, o := range c.Ops {
+		f[o.Op] = o.Ratio
+	}
+	return f
+}
+
+// Calibrate builds a calibration report from the plan's live per-node
+// execution counters (accumulated across every run since the plan was
+// built) against the static cost model m (nil = the paper's default
+// weights). Returns nil when nothing has executed yet. Safe to call
+// concurrently with runs; a report racing active lanes may miss their
+// in-flight nodes.
+func (p *Plan) Calibrate(m cost.Model) *Calibration {
+	if m == nil {
+		m = cost.DefaultModel()
+	}
+	topo := p.topology()
+	type nodeMeas struct {
+		meanUs float64
+		wt     float64
+	}
+	var (
+		nodes  []nodeMeas
+		byName = make(map[string]float64)
+		perOp  = make(map[string]*OpCalibration)
+		sumUs  float64
+		sumWt  float64
+	)
+	for i, n := range topo.opNodes {
+		c := p.opCount[i].Load()
+		if c == 0 {
+			continue
+		}
+		ns := p.opNs[i].Load()
+		meanUs := float64(ns) / float64(c) / 1e3
+		if meanUs < 0.05 {
+			meanUs = 0.05 // same floor as MeasureCosts: dispatch is never free
+		}
+		wt := m.NodeCost(n)
+		nodes = append(nodes, nodeMeas{meanUs, wt})
+		byName[n.Name] = meanUs
+		sumUs += meanUs
+		sumWt += wt
+		oc := perOp[n.OpType]
+		if oc == nil {
+			oc = &OpCalibration{Op: n.OpType}
+			perOp[n.OpType] = oc
+		}
+		oc.Nodes++
+		oc.Count += c
+		oc.TotalNs += ns
+		oc.MeanUs += meanUs // per-node mean sum, replaced by the true mean below
+		oc.StaticWt += wt   // per-node weight sum, likewise
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	baseline := sumUs / sumWt
+	xs := make([]float64, len(nodes))
+	ys := make([]float64, len(nodes))
+	for i, nm := range nodes {
+		xs[i] = nm.wt
+		ys[i] = nm.meanUs
+	}
+	cal := &Calibration{
+		Nodes:           len(nodes),
+		BaselineUsPerWt: baseline,
+		RankCorrelation: spearman(xs, ys),
+	}
+	for _, oc := range perOp {
+		sumNodeUs, sumNodeWt := oc.MeanUs, oc.StaticWt
+		oc.MeanUs = float64(oc.TotalNs) / float64(oc.Count) / 1e3
+		oc.StaticWt = sumNodeWt / float64(oc.Nodes)
+		oc.UsPerWeight = sumNodeUs / sumNodeWt
+		oc.Ratio = oc.UsPerWeight / baseline
+		if oc.Ratio > 0 {
+			oc.Log2Ratio = math.Log2(oc.Ratio)
+		}
+		cal.Ops = append(cal.Ops, *oc)
+	}
+	sort.Slice(cal.Ops, func(i, j int) bool {
+		if cal.Ops[i].TotalNs != cal.Ops[j].TotalNs {
+			return cal.Ops[i].TotalNs > cal.Ops[j].TotalNs
+		}
+		return cal.Ops[i].Op < cal.Ops[j].Op
+	})
+	worst := append([]OpCalibration(nil), cal.Ops...)
+	sort.Slice(worst, func(i, j int) bool {
+		di, dj := math.Abs(worst[i].Log2Ratio), math.Abs(worst[j].Log2Ratio)
+		if di != dj {
+			return di > dj
+		}
+		return worst[i].Op < worst[j].Op
+	})
+	if len(worst) > 5 {
+		worst = worst[:5]
+	}
+	cal.Worst = worst
+	cal.Measured = &MeasuredModel{
+		ByName:  byName,
+		Edge:    3, // the MeasureCosts default channel-handoff estimate
+		Default: sumUs / float64(len(nodes)),
+	}
+	return cal
+}
+
+// spearman computes the Spearman rank correlation between two paired
+// variables (ties get averaged ranks). Returns 0 when fewer than two pairs
+// or either variable is constant.
+func spearman(xs, ys []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ranks assigns 1-based ranks with averaged ties.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// TimelineOpTotals aggregates one sampled run's op spans by operator type —
+// the single-run analogue of the plan's lifetime OpTotals, for reports that
+// want "this run" rather than "since compile".
+func TimelineOpTotals(r *obs.RunTimeline, opOf func(node string) string) []obs.OpTotal {
+	if r == nil {
+		return nil
+	}
+	agg := map[string]obs.OpTotal{}
+	for _, s := range r.Spans {
+		if s.Kind != obs.SpanOp {
+			continue
+		}
+		op := s.Op
+		if op == "" && opOf != nil {
+			op = opOf(s.Name)
+		}
+		t := agg[op]
+		t.Op = op
+		t.Count++
+		t.TotalNs += s.DurNs
+		agg[op] = t
+	}
+	if len(agg) == 0 {
+		return nil
+	}
+	out := make([]obs.OpTotal, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, t)
+	}
+	obs.SortOpTotals(out)
+	return out
+}

@@ -64,7 +64,37 @@ type Plan struct {
 	// top of the per-node timing the profile already takes.
 	opCount []atomic.Int64
 	opNs    []atomic.Int64
+
+	// tl is the plan's optional execution-timeline flight recorder (see
+	// EnableTimeline): when set, one run in N is sampled into per-op spans
+	// with cross-lane wait attribution. Atomic so monitoring can attach a
+	// recorder to a live serving plan without stopping runs. The default
+	// (nil) costs each run exactly one atomic load and each hot-loop event
+	// site one nil check — the zero-allocation contract is pinned by test.
+	tl atomic.Pointer[obs.Timeline]
 }
+
+// EnableTimeline attaches an execution-timeline recorder to the plan,
+// sampling one run in `every` into a ring of the most recent `ring` sampled
+// runs, and returns it. Replaces any previous recorder. Safe to call
+// concurrently with runs; in-flight runs keep recording into the recorder
+// they started with.
+func (p *Plan) EnableTimeline(every, ring int) *obs.Timeline {
+	t := obs.NewTimeline(every, ring)
+	p.tl.Store(t)
+	return t
+}
+
+// DisableTimeline detaches the plan's timeline recorder (if any); later
+// runs go back to the zero-overhead path.
+func (p *Plan) DisableTimeline() { p.tl.Store(nil) }
+
+// Timeline returns the plan's attached recorder, nil when disabled.
+func (p *Plan) Timeline() *obs.Timeline { return p.tl.Load() }
+
+// LastTimeline returns the most recent sampled run's timeline, nil when
+// recording is disabled or nothing has been sampled yet.
+func (p *Plan) LastTimeline() *obs.RunTimeline { return p.tl.Load().Last() }
 
 // chanKey identifies one cross-lane channel: a produced value and the lane
 // consuming it.
@@ -82,6 +112,9 @@ type inputSrc struct {
 	// value is a graph input or initializer, bound from the run's base
 	// environment.
 	remote bool
+	// from is the producing lane of a remote input (wait-span attribution
+	// for the timeline recorder); 0 and meaningless when remote is false.
+	from int
 }
 
 // outputDst describes what to do with one node output beyond storing it in
@@ -142,7 +175,7 @@ func (p *Plan) topology() *planTopo {
 						// Graph input or initializer: bind from base env.
 						t.ins[n] = append(t.ins[n], inputSrc{name: in})
 					case t.laneOf[prod] != li:
-						t.ins[n] = append(t.ins[n], inputSrc{name: in, remote: true})
+						t.ins[n] = append(t.ins[n], inputSrc{name: in, remote: true, from: t.laneOf[prod]})
 						key := chanKey{in, li}
 						if !seenKey[key] {
 							seenKey[key] = true
@@ -592,6 +625,10 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 	if depth < 1 {
 		depth = 1
 	}
+	// Timeline sampling decision for this run: cap stays nil on the default
+	// path (no recorder, or an unsampled run), and every record site below
+	// is a nil-safe no-op then — the hot loop's zero-allocation contract.
+	rec := p.tl.Load().StartRun(len(p.Lanes))
 
 	// Arena mode: a private copy of the memory plan's reference counts.
 	// Lane goroutines decrement the counts of a node's managed inputs once
@@ -670,9 +707,11 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 					waitStart := time.Now()
 					select {
 					case msg := <-ch:
-						stats.Slack += time.Since(waitStart)
+						wait := time.Since(waitStart)
+						stats.Slack += wait
 						stats.Recvs++
 						env[msg.value] = msg.t
+						rec.Wait(li, src.from, src.name, waitStart, wait)
 					case <-abort:
 						return
 					case <-done: // nil (blocks forever) without a cancelable ctx
@@ -694,11 +733,15 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 				idx := topo.opIdx[li][ni]
 				p.opCount[idx].Add(1)
 				p.opNs[idx].Add(int64(busy))
+				rec.Op(li, n.Name, n.OpType, busyStart, busy)
 				// Send outputs needed by remote lanes; capture graph outputs.
 				for _, dst := range topo.outs[n] {
 					for _, cl := range dst.lanes {
 						chans[chanKey{dst.name, cl}] <- message{dst.name, env[dst.name]}
 						stats.Sends++
+						if rec != nil {
+							rec.Send(li, cl, dst.name, time.Now())
+						}
 					}
 					if dst.graphOutput {
 						outMu.Lock()
@@ -747,6 +790,9 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 		if ar != nil {
 			ar.AbandonOutstanding()
 		}
+		// A failed sampled run still commits its partial timeline (marked
+		// incomplete): seeing where lanes stopped is diagnostic signal.
+		rec.Commit(time.Since(start), false)
 		return nil, nil, runErr
 	}
 
@@ -770,5 +816,6 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 		}
 	}
 	profile.Wall = time.Since(start)
+	rec.Commit(profile.Wall, true)
 	return final, profile, nil
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the format Perfetto and chrome://tracing load. Timestamps and durations
+// are microseconds (float, so sub-µs spans survive).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the JSON-object form of a trace (the array form is also
+// legal, but the object form carries display hints).
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeTrace renders the run as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing: the process is the plan
+// (named by process, e.g. the model), each lane is a thread, operator
+// executions are complete ("X") duration events, blocked receives are "X"
+// events in the "wait" category, and each cross-lane transfer is a flow
+// arrow ("s"→"f") from the producer's send to the consumer's matching
+// receive.
+func (r *RunTimeline) ChromeTrace(process string) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: no timeline recorded")
+	}
+	events := make([]chromeEvent, 0, len(r.Spans)+r.Lanes+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	for lane := 0; lane < r.Lanes; lane++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+		})
+	}
+	// Flow IDs: one per (value, consumer-lane) transfer — a value fans out
+	// to several lanes as separate arrows.
+	flowIDs := map[string]int{}
+	flowID := func(value string, consumer int32) int {
+		key := fmt.Sprintf("%s\x00%d", value, consumer)
+		id, ok := flowIDs[key]
+		if !ok {
+			id = len(flowIDs) + 1
+			flowIDs[key] = id
+		}
+		return id
+	}
+	for _, s := range r.Spans {
+		switch s.Kind {
+		case SpanOp:
+			d := usOf(s.DurNs)
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: "op", Ph: "X",
+				Ts: usOf(s.StartNs), Dur: &d, Pid: 1, Tid: int(s.Lane),
+				Args: map[string]any{"op": s.Op, "dur_ns": s.DurNs},
+			})
+		case SpanRecvWait:
+			d := usOf(s.DurNs)
+			events = append(events, chromeEvent{
+				Name: "wait " + s.Name, Cat: "wait", Ph: "X",
+				Ts: usOf(s.StartNs), Dur: &d, Pid: 1, Tid: int(s.Lane),
+				Args: map[string]any{"value": s.Name, "from_lane": s.Peer, "dur_ns": s.DurNs},
+			})
+			// Flow arrival: bind to this lane at the moment the value landed.
+			events = append(events, chromeEvent{
+				Name: "xfer " + s.Name, Cat: "flow", Ph: "f", BP: "e",
+				Ts: usOf(s.EndNs()), Pid: 1, Tid: int(s.Lane),
+				ID: flowID(s.Name, s.Lane),
+			})
+		case SpanSend:
+			events = append(events, chromeEvent{
+				Name: "xfer " + s.Name, Cat: "flow", Ph: "s",
+				Ts: usOf(s.StartNs), Pid: 1, Tid: int(s.Lane),
+				ID: flowID(s.Name, s.Peer),
+			})
+		}
+	}
+	return json.Marshal(chromeTraceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// record captures one synthetic two-lane run: an op on each lane, a
+// cross-lane send and the matching recv-wait.
+func record(c *RunCapture, base time.Time) {
+	c.Op(0, "a", "Relu", base, 10*time.Microsecond)
+	c.Send(0, 1, "va", base.Add(10*time.Microsecond))
+	c.Wait(1, 0, "va", base.Add(2*time.Microsecond), 8*time.Microsecond)
+	c.Op(1, "b", "Neg", base.Add(10*time.Microsecond), 5*time.Microsecond)
+	c.Commit(15*time.Microsecond, true)
+}
+
+func TestTimelineSampling(t *testing.T) {
+	tl := NewTimeline(3, 2)
+	if tl.Every() != 3 {
+		t.Fatalf("Every() = %d, want 3", tl.Every())
+	}
+	var sampled []int64
+	for i := 0; i < 7; i++ {
+		c := tl.StartRun(2)
+		if c != nil {
+			sampled = append(sampled, c.seq)
+			record(c, c.start)
+		}
+	}
+	// Run 1 is always the first sample, then every 3rd run.
+	want := []int64{1, 4, 7}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	if tl.Runs() != 7 {
+		t.Errorf("Runs() = %d, want 7", tl.Runs())
+	}
+	if last := tl.Last(); last == nil || last.Seq != 7 {
+		t.Errorf("Last().Seq = %+v, want seq 7", last)
+	}
+	// Ring of 2 retains the newest two samples, newest first.
+	snap := tl.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 7 || snap[1].Seq != 4 {
+		t.Errorf("Snapshot seqs = %v, want [7 4]", []any{snap})
+	}
+}
+
+func TestTimelineCommittedRun(t *testing.T) {
+	tl := NewTimeline(1, 4)
+	c := tl.StartRun(2)
+	if c == nil {
+		t.Fatal("first run not sampled at every=1")
+	}
+	record(c, c.start)
+	r := tl.Last()
+	if r == nil {
+		t.Fatal("no committed run")
+	}
+	if !r.Complete || r.Lanes != 2 || len(r.Spans) != 4 {
+		t.Fatalf("run = %+v", r)
+	}
+	if got := r.OpTimeNs(); got != 15_000 {
+		t.Errorf("OpTimeNs = %d, want 15000", got)
+	}
+	if got := r.WaitTimeNs(); got != 8_000 {
+		t.Errorf("WaitTimeNs = %d, want 8000", got)
+	}
+	// Spans are grouped by lane: lane 0's two events precede lane 1's.
+	for i, wantLane := range []int32{0, 0, 1, 1} {
+		if r.Spans[i].Lane != wantLane {
+			t.Errorf("span %d on lane %d, want %d", i, r.Spans[i].Lane, wantLane)
+		}
+	}
+}
+
+// TestTimelineNilSafety pins the contract the executor's hot loop relies
+// on: a nil recorder and a nil capture ignore every call.
+func TestTimelineNilSafety(t *testing.T) {
+	var tl *Timeline
+	if tl.StartRun(2) != nil || tl.Last() != nil || tl.Snapshot() != nil ||
+		tl.Runs() != 0 || tl.Every() != 0 {
+		t.Fatal("nil *Timeline not inert")
+	}
+	var c *RunCapture
+	c.Op(0, "a", "Relu", time.Now(), time.Microsecond)
+	c.Wait(0, 1, "v", time.Now(), time.Microsecond)
+	c.Send(0, 1, "v", time.Now())
+	if c.Commit(time.Microsecond, true) != nil {
+		t.Fatal("nil capture committed a run")
+	}
+	var r *RunTimeline
+	if _, err := r.ChromeTrace("x"); err == nil {
+		t.Fatal("nil RunTimeline exported without error")
+	}
+}
+
+// TestTimelineConcurrent hammers recording against readers under -race:
+// writer goroutines play the executor (each lane appends only its own
+// slice), while readers snapshot and export concurrently.
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline(1, 4)
+	const writers, runs = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runs; i++ {
+				c := tl.StartRun(2)
+				if c == nil {
+					continue
+				}
+				var lanes sync.WaitGroup
+				for lane := 0; lane < 2; lane++ {
+					lanes.Add(1)
+					go func(lane int) {
+						defer lanes.Done()
+						c.Op(lane, "n", "Relu", time.Now(), time.Microsecond)
+						c.Wait(lane, 1-lane, "v", time.Now(), time.Microsecond)
+						c.Send(lane, 1-lane, "v", time.Now())
+					}(lane)
+				}
+				lanes.Wait()
+				c.Commit(2*time.Microsecond, true)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, r := range tl.Snapshot() {
+				if _, err := r.ChromeTrace("race"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			tl.Last()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tl.Runs(); got != writers*runs {
+		t.Errorf("Runs() = %d, want %d", got, writers*runs)
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the trace-event
+// format: metadata names the process and each lane-thread, op and wait spans
+// are complete events with µs timestamps, and every flow start has a
+// matching flow finish with the same id.
+func TestChromeTraceSchema(t *testing.T) {
+	tl := NewTimeline(1, 1)
+	c := tl.StartRun(2)
+	record(c, c.start)
+	data, err := tl.Last().ChromeTrace("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			ID   int            `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var meta, x, flowS, flowF int
+	flows := map[int][2]int{}
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Args["name"] == nil {
+				t.Errorf("metadata event %q without args.name", e.Name)
+			}
+		case "X":
+			x++
+			if e.Dur == nil || *e.Dur <= 0 {
+				t.Errorf("X event %q without positive dur", e.Name)
+			}
+			if e.Cat != "op" && e.Cat != "wait" {
+				t.Errorf("X event %q cat %q", e.Name, e.Cat)
+			}
+		case "s":
+			flowS++
+			f := flows[e.ID]
+			f[0]++
+			flows[e.ID] = f
+		case "f":
+			flowF++
+			f := flows[e.ID]
+			f[1]++
+			flows[e.ID] = f
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// process_name + one thread_name per lane; op+op+wait X events.
+	if meta != 3 || x != 3 || flowS != 1 || flowF != 1 {
+		t.Errorf("counts meta=%d x=%d s=%d f=%d, want 3/3/1/1", meta, x, flowS, flowF)
+	}
+	for id, f := range flows {
+		if f[0] != f[1] {
+			t.Errorf("flow id %d has %d starts and %d finishes", id, f[0], f[1])
+		}
+	}
+}

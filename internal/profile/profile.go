@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // LaneRecord is one lane's trace entry.
@@ -23,11 +24,44 @@ type LaneRecord struct {
 	Recvs int           `json:"recvs"`
 }
 
+// OpRecord is one operator execution from a sampled run timeline — the
+// per-op refinement of the per-lane aggregates, present when the trace was
+// saved with a timeline attached.
+type OpRecord struct {
+	Lane    int    `json:"lane"`
+	Node    string `json:"node"`
+	Op      string `json:"op"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
 // Trace is a serializable execution profile.
 type Trace struct {
 	Model string        `json:"model"`
 	Wall  time.Duration `json:"wall_ns"`
 	Lanes []LaneRecord  `json:"lanes"`
+	// Ops carries the per-op spans of one sampled run (see AttachTimeline);
+	// empty for traces recorded without the timeline flight recorder.
+	Ops []OpRecord `json:"ops,omitempty"`
+}
+
+// AttachTimeline copies one sampled run's operator spans into the trace, so
+// the saved profile carries per-op timings next to the lane aggregates.
+// Wait and send spans are not copied — the lane Slack totals already
+// aggregate them; use the Chrome-trace export for the full event view.
+func (t *Trace) AttachTimeline(r *obs.RunTimeline) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.Spans {
+		if s.Kind != obs.SpanOp {
+			continue
+		}
+		t.Ops = append(t.Ops, OpRecord{
+			Lane: int(s.Lane), Node: s.Name, Op: s.Op,
+			StartNs: s.StartNs, DurNs: s.DurNs,
+		})
+	}
 }
 
 // FromProfile converts an executor profile into a trace.

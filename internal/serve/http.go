@@ -93,6 +93,13 @@ type statsResponse struct {
 	// the model's compiled batch variants — where model time actually goes.
 	// Only models with a ready compiled program appear.
 	Ops map[string][]obs.OpTotal `json:"ops,omitempty"`
+	// OpsByVariant breaks Ops out per hypercluster batch variant
+	// (model → "batch_N" → table); populated only for ?variants=1.
+	OpsByVariant map[string]map[string][]obs.OpTotal `json:"ops_by_variant,omitempty"`
+	// Calibration is the per-model cost-model calibration report (static
+	// weights vs live measured per-op durations, batch-1 variant);
+	// populated only for ?calibration=1.
+	Calibration map[string]*ramiel.Calibration `json:"calibration,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -187,19 +194,24 @@ type errorResponse struct {
 
 // Handler returns the HTTP API:
 //
-//	GET  /v1/models  — registered models, signatures, cache + stats
-//	POST /v1/infer   — run one inference request
-//	GET  /v1/stats   — registry/pool/per-model counters, histograms, op time
-//	GET  /v1/trace   — recent request spans (?n= limits, ?slow=1 for the slow ring)
-//	GET  /metrics    — Prometheus text exposition
-//	GET  /healthz    — liveness
-//	GET  /readyz     — readiness (preload set compiled)
+//	GET  /v1/models   — registered models, signatures, cache + stats
+//	POST /v1/infer    — run one inference request
+//	GET  /v1/stats    — registry/pool/per-model counters, histograms, op time
+//	                    (?variants=1 splits op time per batch variant,
+//	                    ?calibration=1 adds the cost-model calibration report)
+//	GET  /v1/trace    — recent request spans (?n= limits, ?slow=1 for the slow ring)
+//	GET  /v1/timeline — latest sampled run timeline of ?model= (&batch=, default 1)
+//	                    as Chrome trace-event JSON; needs Config.TimelineEvery > 0
+//	GET  /metrics     — Prometheus text exposition
+//	GET  /healthz     — liveness
+//	GET  /readyz      — readiness (preload set compiled)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/timeline", s.handleTimeline)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -397,6 +409,65 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTimeline serves GET /v1/timeline: the latest sampled execution
+// timeline of ?model= (and optional &batch=, default 1) rendered as Chrome
+// trace-event JSON — load the response body in Perfetto (ui.perfetto.dev)
+// or chrome://tracing to see lanes as threads, kernels as slices, and
+// cross-lane transfers as flow arrows. 501 when the server runs without the
+// flight recorder (Config.TimelineEvery == 0), 404 while the variant is
+// uncompiled or no run has been sampled yet.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	if s.cfg.TimelineEvery < 1 {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("timeline recording disabled (start the server with TimelineEvery > 0)"))
+		return
+	}
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"model\""))
+		return
+	}
+	batch := 1
+	if v := r.URL.Query().Get("batch"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch %q", v))
+			return
+		}
+		batch = parsed
+	}
+	// Peek, don't Program: a monitoring GET must not compile anything or
+	// skew the cache counters (same policy as /v1/models and /v1/stats).
+	prog := s.reg.Peek(model, batch)
+	if prog == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no compiled batch-%d program for %q (not registered, not yet compiled, or failed)", batch, model))
+		return
+	}
+	tl := prog.LastTimeline()
+	if tl == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no sampled run yet for %q batch %d (sampling 1 in %d)", model, batch, s.cfg.TimelineEvery))
+		return
+	}
+	process := model
+	if batch > 1 {
+		process = fmt.Sprintf("%s (batch %d)", model, batch)
+	}
+	body, err := tl.ChromeTrace(process)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
 // handleReady serves GET /readyz: 200 once the preload set has compiled
 // (Warm succeeded or MarkReady was called), 503 before. Distinct from
 // /healthz, which only says the process is serving HTTP.
@@ -421,7 +492,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	arena := arenaStatsJSON{}
 	arena.ArenaStatsSnapshot, arena.Enabled = s.ArenaStats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeSeconds: s.Uptime().Seconds(),
 		Ready:         s.Ready(),
 		Registry:      s.reg.Stats(),
@@ -435,7 +506,63 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Runtime: readRuntimeStats(),
 		Models:  models,
 		Ops:     s.opTotals(),
-	})
+	}
+	if r.URL.Query().Get("variants") == "1" {
+		resp.OpsByVariant = s.opTotalsByVariant()
+	}
+	if r.URL.Query().Get("calibration") == "1" {
+		resp.Calibration = s.calibrations()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// opTotalsByVariant is opTotals without the merge: per model, each compiled
+// hypercluster batch variant's own op-time table under a "batch_N" key.
+// Same peek-only policy; variants that have never executed are omitted.
+func (s *Server) opTotalsByVariant() map[string]map[string][]obs.OpTotal {
+	var out map[string]map[string][]obs.OpTotal
+	for _, name := range s.reg.Models() {
+		for _, batch := range s.reg.CachedBatches(name) {
+			prog := s.reg.Peek(name, batch)
+			if prog == nil {
+				continue
+			}
+			totals := prog.OpTotals()
+			if totals == nil {
+				continue
+			}
+			if out == nil {
+				out = map[string]map[string][]obs.OpTotal{}
+			}
+			if out[name] == nil {
+				out[name] = map[string][]obs.OpTotal{}
+			}
+			out[name][fmt.Sprintf("batch_%d", batch)] = totals
+		}
+	}
+	return out
+}
+
+// calibrations builds the per-model cost-model calibration reports from the
+// batch-1 variants' live counters (peek-only; models that have not executed
+// are omitted).
+func (s *Server) calibrations() map[string]*ramiel.Calibration {
+	var out map[string]*ramiel.Calibration
+	for _, name := range s.reg.Models() {
+		prog := s.reg.Peek(name, 1)
+		if prog == nil {
+			continue
+		}
+		cal := prog.Calibrate()
+		if cal == nil {
+			continue
+		}
+		if out == nil {
+			out = map[string]*ramiel.Calibration{}
+		}
+		out[name] = cal
+	}
+	return out
 }
 
 // opTotals builds the per-model op-time tables for stats and metrics by

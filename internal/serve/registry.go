@@ -22,7 +22,11 @@
 //	POST /v1/infer    — run inference (X-Request-ID echoes the span ID)
 //	GET  /v1/models   — registered models
 //	GET  /v1/stats    — counters, stage histograms, per-op time, arenas
+//	                    (?variants=1 per-batch-variant op time,
+//	                    ?calibration=1 cost-model calibration report)
 //	GET  /v1/trace    — recent + slow request spans (?n= limits, ?slow=1)
+//	GET  /v1/timeline — latest sampled execution timeline of a model as
+//	                    Chrome trace-event JSON (Config.TimelineEvery > 0)
 //	GET  /metrics     — Prometheus text exposition of all of the above
 //	GET  /healthz     — liveness (the process serves HTTP)
 //	GET  /readyz      — readiness (the preload set has compiled)
@@ -117,6 +121,11 @@ type Registry struct {
 	// optsFP is the options fingerprint, precomputed so per-request key
 	// construction stays allocation-free.
 	optsFP string
+	// tlEvery/tlRing, when tlEvery > 0, attach an execution-timeline flight
+	// recorder to every program this registry compiles (set before the
+	// first compile via EnableTimeline).
+	tlEvery int
+	tlRing  int
 
 	mu       sync.Mutex
 	sources  map[string]ModelSource
@@ -137,6 +146,16 @@ func NewRegistry(opts ramiel.Options, switched bool) *Registry {
 		graphs:   map[string]*graphEntry{},
 		programs: map[programKey]*programEntry{},
 	}
+}
+
+// EnableTimeline makes every program the registry compiles from now on
+// carry an execution-timeline flight recorder sampling one run in `every`
+// into a ring of `ring` retained runs. Call before serving traffic —
+// already-compiled programs are not retrofitted.
+func (r *Registry) EnableTimeline(every, ring int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tlEvery, r.tlRing = every, ring
 }
 
 // Registered reports whether a model name is known to the registry.
@@ -288,6 +307,24 @@ func (r *Registry) compile(model string, batch int) (*ramiel.Program, error) {
 		r.stats.Compiles.Add(1)
 		r.stats.CompileMicros.Add(time.Since(start).Microseconds())
 	}()
+	prog, err := r.compileVariant(model, batch)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	every, ring := r.tlEvery, r.tlRing
+	r.mu.Unlock()
+	if every > 0 {
+		// Every variant records independently: a batch-4 hypercluster run
+		// and a batch-1 run have different lane structures and timelines.
+		prog.EnableTimeline(every, ring)
+	}
+	return prog, nil
+}
+
+// compileVariant builds the base program (batch 1) or derives the
+// hyperclustered variant from it.
+func (r *Registry) compileVariant(model string, batch int) (*ramiel.Program, error) {
 	if batch == 1 {
 		g, err := r.Graph(model)
 		if err != nil {

@@ -49,6 +49,16 @@ type Config struct {
 	// into the dedicated slow-trace ring, so rare tail-latency offenders
 	// survive the churn of the recent ring. Default 100ms.
 	SlowThreshold time.Duration
+	// TimelineEvery enables the execution-timeline flight recorder on every
+	// compiled program: one run in TimelineEvery is sampled into per-op
+	// spans, exportable as Chrome trace-event JSON at GET /v1/timeline.
+	// Default 0 = off — unlike the request-level telemetry above, sampled
+	// runs allocate their span storage, so the recorder is opt-in and the
+	// serving hot path keeps its zero-allocation contract by default.
+	TimelineEvery int
+	// TimelineRing is how many sampled run timelines each program retains
+	// (default 4). Ignored when TimelineEvery is 0.
+	TimelineRing int
 	// Compile sets the Ramiel pipeline options used for every model.
 	Compile ramiel.Options
 }
@@ -74,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowThreshold <= 0 {
 		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.TimelineRing < 1 {
+		c.TimelineRing = 4
 	}
 	return c
 }
@@ -141,9 +154,13 @@ func New(cfg Config) *Server {
 		// time rather than on the first request.
 		cfg.Compile.EagerMemPlan = true
 	}
+	reg := NewRegistry(cfg.Compile, cfg.Switched)
+	if cfg.TimelineEvery > 0 {
+		reg.EnableTimeline(cfg.TimelineEvery, cfg.TimelineRing)
+	}
 	s := &Server{
 		cfg:      cfg,
-		reg:      NewRegistry(cfg.Compile, cfg.Switched),
+		reg:      reg,
 		pool:     NewPool(cfg.Workers, cfg.Backlog),
 		sessions: newSessionSource(!cfg.NoArena),
 		batchers: map[string]*batcher{},

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: invalid JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPTimelineDisabled(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2, MaxBatch: 1}, "squeezenet")
+	if code := getJSON(t, ts.URL+"/v1/timeline?model=squeezenet", nil); code != http.StatusNotImplemented {
+		t.Errorf("timeline with recording off: %d, want 501", code)
+	}
+}
+
+func TestHTTPTimelineEndpoint(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2, MaxBatch: 1, TimelineEvery: 1}, "squeezenet")
+
+	if code := getJSON(t, ts.URL+"/v1/timeline", nil); code != http.StatusBadRequest {
+		t.Errorf("missing model: %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/timeline?model=squeezenet&batch=zero", nil); code != http.StatusBadRequest {
+		t.Errorf("bad batch: %d, want 400", code)
+	}
+	// Monitoring must not compile: before any inference the variant does
+	// not exist, and asking for its timeline reports 404, not a build.
+	if code := getJSON(t, ts.URL+"/v1/timeline?model=squeezenet", nil); code != http.StatusNotFound {
+		t.Errorf("uncompiled model: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/timeline?model=nosuch", nil); code != http.StatusNotFound {
+		t.Errorf("unknown model: %d, want 404", code)
+	}
+
+	seed := uint64(1)
+	resp, _ := postInfer(t, ts.URL, inferRequest{Model: "squeezenet", Seed: &seed})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d", resp.StatusCode)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/timeline?model=squeezenet", &trace); code != http.StatusOK {
+		t.Fatalf("timeline after infer: %d, want 200", code)
+	}
+	var ops int
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" && e.Cat == "op" {
+			ops++
+		}
+	}
+	if ops == 0 {
+		t.Errorf("no op events in exported trace (%d events)", len(trace.TraceEvents))
+	}
+}
+
+func TestHTTPStatsVariantsAndCalibration(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2, MaxBatch: 1, TimelineEvery: 4}, "squeezenet")
+	seed := uint64(1)
+	for i := 0; i < 3; i++ {
+		resp, _ := postInfer(t, ts.URL, inferRequest{Model: "squeezenet", Seed: &seed})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("infer: %d", resp.StatusCode)
+		}
+	}
+
+	// Plain stats omit the opt-in blocks.
+	var plain map[string]json.RawMessage
+	if code := getJSON(t, ts.URL+"/v1/stats", &plain); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if _, ok := plain["ops_by_variant"]; ok {
+		t.Error("ops_by_variant present without ?variants=1")
+	}
+	if _, ok := plain["calibration"]; ok {
+		t.Error("calibration present without ?calibration=1")
+	}
+
+	var stats struct {
+		OpsByVariant map[string]map[string][]struct {
+			Op      string `json:"op"`
+			Count   int64  `json:"count"`
+			TotalNs int64  `json:"total_ns"`
+		} `json:"ops_by_variant"`
+		Calibration map[string]struct {
+			Nodes           int     `json:"nodes"`
+			BaselineUsPerWt float64 `json:"baseline_us_per_weight"`
+			Ops             []struct {
+				Op    string  `json:"op"`
+				Ratio float64 `json:"ratio"`
+			} `json:"ops"`
+		} `json:"calibration"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats?variants=1&calibration=1", &stats); code != http.StatusOK {
+		t.Fatalf("stats with opts: %d", code)
+	}
+	variants := stats.OpsByVariant["squeezenet"]
+	if len(variants) == 0 {
+		t.Fatalf("no squeezenet variants in ops_by_variant: %v", stats.OpsByVariant)
+	}
+	totals := variants["batch_1"]
+	if len(totals) == 0 {
+		t.Fatalf("no batch_1 op totals: %v", variants)
+	}
+	for _, ot := range totals {
+		if ot.Count <= 0 || ot.TotalNs <= 0 {
+			t.Errorf("empty op total %+v", ot)
+		}
+	}
+	cal, ok := stats.Calibration["squeezenet"]
+	if !ok {
+		t.Fatalf("no squeezenet calibration: %v", stats.Calibration)
+	}
+	if cal.Nodes <= 0 || cal.BaselineUsPerWt <= 0 || len(cal.Ops) == 0 {
+		t.Errorf("degenerate calibration %+v", cal)
+	}
+}

@@ -56,6 +56,18 @@ type (
 	// OpTotal is one operator type's measured execution totals
 	// (invocations + cumulative ns) from a program's live counters.
 	OpTotal = obs.OpTotal
+	// Timeline is a program's execution flight recorder: 1-in-N sampled
+	// per-op/per-wait span timelines (see Program.EnableTimeline).
+	Timeline = obs.Timeline
+	// RunTimeline is one sampled run's complete span timeline, exportable
+	// as Chrome trace-event JSON (RunTimeline.ChromeTrace).
+	RunTimeline = obs.RunTimeline
+	// Calibration compares the static cost model against live measured
+	// per-op durations (see Program.Calibrate).
+	Calibration = exec.Calibration
+	// CriticalPathReport is a sampled run's measured critical path next to
+	// the static model's prediction (see Program.CriticalPathFromTimeline).
+	CriticalPathReport = exec.CriticalPathReport
 )
 
 // NewArena creates an empty tensor arena for Program.RunArena. Keep it
@@ -278,6 +290,55 @@ func (p *Program) PrepackedWeights() (nodes int, bytes int64) {
 // counterpart of the static cost model: it shows where execution time
 // actually goes on this host.
 func (p *Program) OpTotals() []OpTotal { return p.Plan.OpTotals() }
+
+// EnableTimeline attaches the execution-timeline flight recorder to the
+// program: one run in `every` is sampled into timestamped per-op spans
+// (with cross-lane send/receive wait attribution), retained in a ring of
+// the most recent `ring` sampled runs. Sampling off (never enabled) adds
+// zero allocations and one atomic load to each run; sampled runs pay for
+// their span storage. Returns the recorder for direct inspection.
+func (p *Program) EnableTimeline(every, ring int) *Timeline {
+	return p.Plan.EnableTimeline(every, ring)
+}
+
+// Timeline returns the program's attached flight recorder, nil when
+// recording was never enabled.
+func (p *Program) Timeline() *Timeline { return p.Plan.Timeline() }
+
+// LastTimeline returns the most recent sampled run's timeline, nil when
+// recording is disabled or no run has been sampled yet. Export it with
+// RunTimeline.ChromeTrace (Perfetto/chrome://tracing-loadable JSON).
+func (p *Program) LastTimeline() *RunTimeline { return p.Plan.LastTimeline() }
+
+// Calibrate compares the program's compile-time cost model against its live
+// measured per-op durations (the counters behind OpTotals): a per-op ratio
+// table, the rank correlation between static and measured node costs, the
+// worst-diverging ops, and a MeasuredModel snapshot for profile-guided
+// recompilation. Nil until the program has run.
+func (p *Program) Calibrate() *Calibration {
+	return p.Plan.Calibrate(p.costModel())
+}
+
+// CriticalPathFromTimeline recovers the measured critical path of one
+// sampled run — the chain of kernels and cross-lane waits that bounded its
+// wall time — and sets it against the static cost model's predicted
+// critical path over the same graph.
+func (p *Program) CriticalPathFromTimeline(r *RunTimeline) (*CriticalPathReport, error) {
+	return p.Plan.CriticalPathFromTimeline(r, p.costModel())
+}
+
+// costModel resolves the model the program was compiled under (falling back
+// to the paper's default weights — hyperclustered programs carry no
+// clustering and therefore no model reference).
+func (p *Program) costModel() cost.Model {
+	if p.Clustering != nil && p.Clustering.Model != nil {
+		return p.Clustering.Model
+	}
+	if p.opts.CostModel != nil {
+		return p.opts.CostModel
+	}
+	return cost.DefaultModel()
+}
 
 // RunProfiled is Run plus the per-lane busy/slack profile.
 //
