@@ -11,7 +11,9 @@
 //
 //	ramield -models squeezenet,googlenet
 //	ramield -models bert -prune -max-batch 8 -flush 3ms -switched
+//	ramield -models squeezenet -max-batch 4,squeezenet=8 -flush 2ms,squeezenet=500us
 //	ramield -load mymodel=path/to/model.onnx.json.gz -addr :9090
+//	ramield -models squeezenet -replicas 4        # in-process fleet
 //
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/infer -d '{"model":"squeezenet","seed":1}'
@@ -22,6 +24,24 @@
 //	curl 'localhost:8080/v1/timeline?model=squeezenet' > trace.json  # Perfetto
 //	curl localhost:8080/metrics              # Prometheus text exposition
 //	curl localhost:8080/readyz               # readiness (preload compiled)
+//
+// Batching: -max-batch and -flush take a global value plus optional
+// per-model overrides ("4,bert=8"). With -adaptive (the default) the flush
+// value is only the window cap — the batcher picks the actual window per
+// model from live inter-arrival and execution histograms, flushing early
+// at low load and growing batches under pressure; -adaptive=false restores
+// the static flush timeout as a manual fallback.
+//
+// Fleet: -replicas N (N > 1) runs N identical serving replicas in one
+// process behind the fleet front (consistent-hash routing by model,
+// queue-watermark spillover, deadline-feasibility admission control); the
+// front's API (see internal/fleet) is served on -addr in place of the
+// single-server API. Multi-host fleets run one ramield per host behind
+// cmd/ramielfe instead.
+//
+// On SIGTERM/SIGINT the daemon drains: /readyz flips to 503 first (so load
+// balancers stop routing), then the listener closes gracefully and
+// in-flight requests run to completion before the runtime shuts down.
 //
 // Telemetry (stage-latency histograms, request tracing) is always on and
 // costs no allocations per request; -obs=false switches it off for A/B
@@ -42,13 +62,82 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	ramiel "repro"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
+
+// parseTuning splits a "global,model=value,..." flag into the global part
+// and per-model overrides. Items without '=' (re)set the global value.
+func parseTuning(spec string) (global string, overrides map[string]string, err error) {
+	overrides = map[string]string{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if model, val, ok := strings.Cut(item, "="); ok {
+			if model == "" || val == "" {
+				return "", nil, fmt.Errorf("%q: want model=value", item)
+			}
+			overrides[model] = val
+		} else {
+			global = item
+		}
+	}
+	return global, overrides, nil
+}
+
+// batchTuning resolves the -max-batch and -flush flag grammars into the
+// global config values plus a per-model serve.BatchTuning map.
+func batchTuning(maxBatchSpec, flushSpec string) (maxBatch int, flush time.Duration, perModel map[string]serve.BatchTuning, err error) {
+	mbGlobal, mbOver, err := parseTuning(maxBatchSpec)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("-max-batch %v", err)
+	}
+	flGlobal, flOver, err := parseTuning(flushSpec)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("-flush %v", err)
+	}
+	if mbGlobal != "" {
+		if maxBatch, err = strconv.Atoi(mbGlobal); err != nil {
+			return 0, 0, nil, fmt.Errorf("-max-batch %q: %v", mbGlobal, err)
+		}
+	}
+	if flGlobal != "" {
+		if flush, err = time.ParseDuration(flGlobal); err != nil {
+			return 0, 0, nil, fmt.Errorf("-flush %q: %v", flGlobal, err)
+		}
+	}
+	perModel = map[string]serve.BatchTuning{}
+	for model, val := range mbOver {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("-max-batch %s=%q: %v", model, val, err)
+		}
+		t := perModel[model]
+		t.MaxBatch = n
+		perModel[model] = t
+	}
+	for model, val := range flOver {
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("-flush %s=%q: %v", model, val, err)
+		}
+		t := perModel[model]
+		t.FlushTimeout = d
+		perModel[model] = t
+	}
+	if len(perModel) == 0 {
+		perModel = nil
+	}
+	return maxBatch, flush, perModel, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -60,9 +149,12 @@ func main() {
 	loads := flag.String("load", "", "comma-separated name=path pairs of ONNX-subset model files to serve")
 	img := flag.Int("img", 32, "image size for zoo vision models")
 
-	workers := flag.Int("workers", 0, "concurrent plan executions (0 = GOMAXPROCS)")
-	maxBatch := flag.Int("max-batch", 4, "micro-batch cap (1 disables coalescing)")
-	flush := flag.Duration("flush", 2*time.Millisecond, "micro-batch flush timeout")
+	workers := flag.Int("workers", 0, "concurrent plan executions per replica (0 = GOMAXPROCS)")
+	maxBatchSpec := flag.String("max-batch", "4", `micro-batch cap, with optional per-model overrides "4,bert=8" (1 disables coalescing)`)
+	flushSpec := flag.String("flush", "2ms", `micro-batch flush window, with optional per-model overrides "2ms,bert=500us" (the cap when -adaptive)`)
+	adaptive := flag.Bool("adaptive", true, "latency-aware flush windows from live queue/exec histograms (-flush becomes the cap)")
+	replicasN := flag.Int("replicas", 1, "in-process serving replicas; >1 serves the fleet front (routing + admission) on -addr")
+	admission := flag.Bool("admission", true, "fleet mode: reject deadline-infeasible requests at enqueue")
 	switched := flag.Bool("switched", false, "use switched hyperclustering for batch plans")
 	arena := flag.Bool("arena", true, "arena-backed execution: recycle intermediate tensors across requests")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -77,10 +169,20 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	maxBatch, flush, perModel, err := batchTuning(*maxBatchSpec, *flushSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *replicasN < 1 {
+		log.Fatalf("-replicas %d: want >= 1", *replicasN)
+	}
+
+	cfg := serve.Config{
 		Workers:       *workers,
-		MaxBatch:      *maxBatch,
-		FlushTimeout:  *flush,
+		MaxBatch:      maxBatch,
+		FlushTimeout:  flush,
+		AdaptiveBatch: *adaptive,
+		ModelTuning:   perModel,
 		Switched:      *switched,
 		Deadline:      *deadline,
 		NoArena:       !*arena,
@@ -89,47 +191,72 @@ func main() {
 		SlowThreshold: *slowTrace,
 		TimelineEvery: *timelineEvery,
 		Compile:       ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
-	})
+	}
 
 	var zoo []string
 	if *modelsFlag != "" {
 		zoo = strings.Split(*modelsFlag, ",")
 	}
-	if err := srv.RegisterZoo(ramiel.ModelConfig{ImageSize: *img}, zoo...); err != nil {
-		log.Fatal(err)
-	}
-	for _, pair := range strings.Split(*loads, ",") {
-		if pair == "" {
-			continue
+
+	servers := make([]*serve.Server, *replicasN)
+	for i := range servers {
+		srv := serve.New(cfg)
+		if err := srv.RegisterZoo(ramiel.ModelConfig{ImageSize: *img}, zoo...); err != nil {
+			log.Fatal(err)
 		}
-		name, path, ok := strings.Cut(pair, "=")
-		if !ok {
-			log.Fatalf("-load %q: want name=path", pair)
+		for _, pair := range strings.Split(*loads, ",") {
+			if pair == "" {
+				continue
+			}
+			name, path, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("-load %q: want name=path", pair)
+			}
+			g, err := ramiel.LoadModel(path)
+			if err != nil {
+				log.Fatalf("loading %s: %v", path, err)
+			}
+			srv.RegisterGraph(name, g)
 		}
-		g, err := ramiel.LoadModel(path)
-		if err != nil {
-			log.Fatalf("loading %s: %v", path, err)
-		}
-		srv.RegisterGraph(name, g)
+		servers[i] = srv
 	}
 
 	if *warm {
-		// /readyz stays 503 until this succeeds: a deployment rolling the
-		// daemon knows not to route traffic at a still-compiling instance.
+		// /readyz stays 503 until every replica compiled its preload: a
+		// deployment rolling the daemon knows not to route traffic at a
+		// still-compiling instance.
 		warmStart := time.Now()
-		if err := srv.Warm(); err != nil {
-			log.Fatalf("warmup: %v", err)
+		for _, srv := range servers {
+			if err := srv.Warm(); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
 		}
-		log.Printf("warmed %d models in %v", len(srv.Registry().Models()),
-			time.Since(warmStart).Round(time.Millisecond))
+		log.Printf("warmed %d models x %d replicas in %v", len(servers[0].Registry().Models()),
+			len(servers), time.Since(warmStart).Round(time.Millisecond))
 	} else {
 		// No preload set to wait for; ready as soon as we can listen.
-		srv.MarkReady()
+		for _, srv := range servers {
+			srv.MarkReady()
+		}
 	}
-	log.Printf("serving %v on %s (max-batch %d, flush %v, arena %v, fusion %v, obs %v, timeline %d)",
-		srv.Registry().Models(), *addr, *maxBatch, *flush, *arena, *fusion, *obsOn, *timelineEvery)
 
-	handler := srv.Handler()
+	var front *fleet.Front
+	var handler http.Handler
+	if len(servers) > 1 {
+		locals := make([]fleet.Replica, len(servers))
+		for i, srv := range servers {
+			locals[i] = fleet.NewLocal("r"+strconv.Itoa(i), srv)
+		}
+		front = fleet.New(fleet.Config{NoAdmission: !*admission, Deadline: *deadline}, locals...)
+		handler = front.Handler()
+		log.Printf("fleet front: %d in-process replicas (admission %v)", len(servers), *admission)
+	} else {
+		handler = servers[0].Handler()
+	}
+	log.Printf("serving %v on %s (replicas %d, max-batch %s, flush %s, adaptive %v, arena %v, fusion %v, obs %v, timeline %d)",
+		servers[0].Registry().Models(), *addr, len(servers), *maxBatchSpec, *flushSpec,
+		*adaptive, *arena, *fusion, *obsOn, *timelineEvery)
+
 	if *pprofOn {
 		// The API mux must not import pprof unconditionally (its blank
 		// import mounts handlers on DefaultServeMux); register explicitly,
@@ -156,14 +283,25 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Print("shutting down")
+	// Drain order matters: flip readiness first so health checks pull this
+	// instance out of rotation, then close the listener gracefully (lets
+	// in-flight requests finish), then shut the runtimes down.
+	log.Print("shutting down: draining")
+	if front != nil {
+		front.BeginDrain()
+	}
+	for _, srv := range servers {
+		srv.BeginDrain()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Close(shutdownCtx); err != nil {
-		log.Printf("runtime shutdown: %v", err)
+	for _, srv := range servers {
+		if err := srv.Close(shutdownCtx); err != nil {
+			log.Printf("runtime shutdown: %v", err)
+		}
 	}
 	fmt.Println("bye")
 }

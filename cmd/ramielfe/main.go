@@ -1,0 +1,163 @@
+// Command ramielfe is the Ramiel fleet front-end: it turns N ramield
+// replicas — remote daemons named with -replicas, or in-process runtimes
+// started with -inproc — into one serving endpoint with consistent-hash
+// routing by model (keeping each replica's program cache, prepacked
+// weights, and session arenas warm), queue-watermark spillover, and
+// deadline-feasibility admission control that rejects infeasible requests
+// in microseconds instead of queueing them to time out.
+//
+// Endpoints:
+//
+//	POST /v1/infer — routed + admission-controlled inference (ramield wire
+//	                 format; X-Fleet-Replica reports placement, 429 with a
+//	                 cause label on shed)
+//	GET  /v1/fleet — replica topology, health, and per-model admission
+//	                 stats (alias: /v1/stats)
+//	GET  /metrics  — Prometheus text exposition (fleet families)
+//	GET  /healthz  — liveness
+//	GET  /readyz   — readiness: not draining and >= 1 replica ready
+//
+// Examples:
+//
+//	ramielfe -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//	ramielfe -inproc 4 -models squeezenet -adaptive
+//	ramielfe -replicas http://a:8080 -admission=false   # route-only
+//
+// On SIGTERM/SIGINT the front drains: /readyz flips to 503, new work is
+// rejected, in-flight requests finish, then in-process replicas shut down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ramielfe: ")
+
+	addr := flag.String("addr", ":8070", "listen address")
+	remotes := flag.String("replicas", "", "comma-separated ramield base URLs (remote replicas)")
+	inproc := flag.Int("inproc", 0, "in-process replicas to start (single-host fleet; combines with -replicas)")
+	probe := flag.Duration("probe", time.Second, "remote replica health/load probe interval")
+
+	admission := flag.Bool("admission", true, "reject deadline-infeasible requests at enqueue")
+	maxPending := flag.Int("max-pending", 0, "per-model admitted-but-unfinished cap (0 = 4x total workers)")
+	watermark := flag.Int64("watermark", 0, "replica queue depth that triggers spillover to the next ring member (0 = 2x replica workers)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline (feasibility budget)")
+
+	modelsFlag := flag.String("models", "squeezenet,googlenet",
+		"in-process replicas: comma-separated zoo models ("+strings.Join(ramiel.ModelNames(), ", ")+"); empty for all")
+	img := flag.Int("img", 32, "in-process replicas: image size for zoo vision models")
+	workers := flag.Int("workers", 0, "in-process replicas: concurrent plan executions each (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 4, "in-process replicas: micro-batch cap")
+	flush := flag.Duration("flush", 2*time.Millisecond, "in-process replicas: micro-batch flush window (cap when -adaptive)")
+	adaptive := flag.Bool("adaptive", true, "in-process replicas: latency-aware adaptive flush windows")
+	flag.Parse()
+
+	var replicas []fleet.Replica
+	var locals []*serve.Server
+	var probed []*fleet.Remote
+
+	for i, base := range strings.Split(*remotes, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		r := fleet.NewRemote("remote"+strconv.Itoa(i)+"@"+base, base)
+		replicas = append(replicas, r)
+		probed = append(probed, r)
+	}
+	if *inproc > 0 {
+		var zoo []string
+		if *modelsFlag != "" {
+			zoo = strings.Split(*modelsFlag, ",")
+		}
+		cfg := serve.Config{
+			Workers:       *workers,
+			MaxBatch:      *maxBatch,
+			FlushTimeout:  *flush,
+			AdaptiveBatch: *adaptive,
+			Deadline:      *deadline,
+		}
+		warmStart := time.Now()
+		for i := 0; i < *inproc; i++ {
+			srv := serve.New(cfg)
+			if err := srv.RegisterZoo(ramiel.ModelConfig{ImageSize: *img}, zoo...); err != nil {
+				log.Fatal(err)
+			}
+			if err := srv.Warm(); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+			locals = append(locals, srv)
+			replicas = append(replicas, fleet.NewLocal("local"+strconv.Itoa(i), srv))
+		}
+		log.Printf("warmed %d in-process replicas in %v", *inproc,
+			time.Since(warmStart).Round(time.Millisecond))
+	}
+	if len(replicas) == 0 {
+		log.Fatal("no replicas: set -replicas URLs and/or -inproc N")
+	}
+
+	front := fleet.New(fleet.Config{
+		NoAdmission:    !*admission,
+		MaxPending:     *maxPending,
+		SpillWatermark: *watermark,
+		Deadline:       *deadline,
+	}, replicas...)
+	for _, r := range probed {
+		r.StartProbing(*probe)
+	}
+	log.Printf("fronting %d replicas (%d remote, %d in-process) on %s (admission %v)",
+		len(replicas), len(probed), len(locals), *addr, *admission)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: front.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: readiness flips first (load balancers stop routing), the
+	// listener closes gracefully so in-flight requests finish, then the
+	// in-process runtimes shut down. Remote replicas drain themselves on
+	// their own SIGTERM.
+	log.Print("shutting down: draining")
+	front.BeginDrain()
+	for _, srv := range locals {
+		srv.BeginDrain()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	for _, r := range probed {
+		r.StopProbing()
+	}
+	for _, srv := range locals {
+		if err := srv.Close(shutdownCtx); err != nil {
+			log.Printf("runtime shutdown: %v", err)
+		}
+	}
+	fmt.Println("bye")
+}

@@ -1,0 +1,469 @@
+// Package fleet is the multi-replica tier above internal/serve: it turns N
+// ramield-style replicas — in-process serve.Servers or remote daemons —
+// into one service. Three mechanisms, all driven by live measurements
+// rather than static configuration:
+//
+//   - Routing: consistent hashing on the model name pins each model to a
+//     replica so that replica's program cache, prepacked weights, and
+//     session arenas stay warm for it, with health/readiness tracking and
+//     automatic spillover to the next ring member once the owner's queue
+//     depth crosses a watermark.
+//   - Admission control: a deadline-feasibility check at enqueue time —
+//     predicted queue wait (replica backlog × live p50 execution time ÷
+//     workers) plus p90 execution time against the request's remaining
+//     deadline budget. Infeasible requests are rejected in microseconds
+//     with a distinct 429 cause instead of timing out in milliseconds
+//     while holding queue slots, and a bounded per-model pending window
+//     sheds overload with cause-labeled counters.
+//   - The latency-aware adaptive batching the replicas themselves run
+//     (serve.Config.AdaptiveBatch) completes the picture: the fleet sheds
+//     what cannot finish, and each replica sizes its micro-batch windows
+//     from the live arrival rate and execution histograms.
+//
+// cmd/ramielfe exposes a Front over HTTP; ramield -replicas N runs an
+// in-process fleet in one process.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Shed errors. Infeasible/queue-full map to 429 (the client can retry
+// with a looser deadline or less load), no-replica to 503.
+var (
+	// ErrInfeasible rejects a request whose predicted completion time
+	// (queue wait + p90 execution) exceeds its deadline budget.
+	ErrInfeasible = errors.New("fleet: deadline infeasible: predicted completion exceeds the request deadline")
+	// ErrQueueFull rejects a request arriving while the model's pending
+	// window (admitted, not yet finished) is at its bound.
+	ErrQueueFull = errors.New("fleet: model queue full")
+	// ErrNoReplica means no healthy, ready replica exists for the request.
+	ErrNoReplica = errors.New("fleet: no ready replica")
+)
+
+// ShedCause labels why admission rejected a request.
+type ShedCause int
+
+const (
+	// ShedInfeasible: the deadline-feasibility check failed.
+	ShedInfeasible ShedCause = iota
+	// ShedQueueFull: the per-model pending bound was hit.
+	ShedQueueFull
+	// ShedNoReplica: no healthy ready replica.
+	ShedNoReplica
+	numShedCauses
+)
+
+// String returns the stable label used in JSON and metric labels.
+func (c ShedCause) String() string {
+	switch c {
+	case ShedInfeasible:
+		return "infeasible"
+	case ShedQueueFull:
+		return "queue_full"
+	case ShedNoReplica:
+		return "no_replica"
+	}
+	return "unknown"
+}
+
+// shedCauses lists every cause, for renderers.
+func shedCauses() []ShedCause {
+	return []ShedCause{ShedInfeasible, ShedQueueFull, ShedNoReplica}
+}
+
+// Config tunes the fleet front. Zero values pick sensible defaults.
+type Config struct {
+	// NoAdmission disables the deadline-feasibility check and the pending
+	// bound: every request routes straight to a replica. The A/B baseline
+	// for the admission benchmarks.
+	NoAdmission bool
+	// MaxPending bounds admitted-but-unfinished requests per model at the
+	// front (default 4 × total fleet workers, minimum 16). The bound is
+	// what turns overload into microsecond rejections instead of an
+	// unbounded queue of doomed requests.
+	MaxPending int
+	// SpillWatermark is the queued-request depth at which routing spills a
+	// model to the next ring member (default per replica: 2 × its
+	// workers).
+	SpillWatermark int64
+	// Margin scales the predicted completion time in the feasibility test;
+	// >1 rejects earlier (safety margin), <1 gambles. Default 1.0.
+	Margin float64
+	// Deadline is the default per-request deadline when the caller's
+	// context has none (default 30s) — admission needs a budget to check
+	// against.
+	Deadline time.Duration
+}
+
+func (c Config) withDefaults(totalWorkers int) Config {
+	if c.MaxPending < 1 {
+		c.MaxPending = 4 * totalWorkers
+		if c.MaxPending < 16 {
+			c.MaxPending = 16
+		}
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1.0
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	return c
+}
+
+// modelState is the front's per-model accounting: admission counters,
+// pending gauge, and the live histograms the admission controller reads
+// (observed execution and end-to-end times, plus the decision latency of
+// rejections — the "reject in microseconds" claim, measured).
+type modelState struct {
+	requests atomic.Int64
+	admitted atomic.Int64
+	pending  atomic.Int64
+	spills   atomic.Int64
+	errors   atomic.Int64
+	shed     [numShedCauses]atomic.Int64
+
+	exec   obs.Histogram // replica-reported execution time of completed requests
+	e2e    obs.Histogram // front-observed end-to-end time of admitted requests
+	reject obs.Histogram // decision latency of shed requests
+}
+
+// RouteInfo reports how the front placed a request.
+type RouteInfo struct {
+	// Replica is the chosen replica's name (empty when shed before
+	// placement).
+	Replica string
+	// Spilled is true when the request did not run on its ring owner
+	// (watermark or health spillover).
+	Spilled bool
+	// PredictedWait is the admission controller's queue-wait estimate at
+	// enqueue (zero with admission off or no data yet).
+	PredictedWait time.Duration
+}
+
+// Front is the fleet tier: ring routing + admission control over a fixed
+// replica set. All methods are safe for concurrent use.
+type Front struct {
+	cfg      Config
+	replicas []Replica
+	ring     *ring
+
+	mu     sync.Mutex
+	models map[string]*modelState
+
+	draining atomic.Bool
+	start    time.Time
+
+	// scratch pools the ring-walk order slice so routing stays
+	// allocation-free on the admission fast path.
+	scratch sync.Pool
+}
+
+// New creates a front over the given replicas. Replica names must be
+// distinct (ring placement derives from them).
+func New(cfg Config, replicas ...Replica) *Front {
+	total := 0
+	names := make([]string, len(replicas))
+	for i, r := range replicas {
+		names[i] = r.Name()
+		total += r.Workers()
+	}
+	return &Front{
+		cfg:      cfg.withDefaults(total),
+		replicas: replicas,
+		ring:     newRing(names),
+		models:   map[string]*modelState{},
+		start:    time.Now(),
+		scratch: sync.Pool{New: func() any {
+			s := make([]int, 0, 16)
+			return &s
+		}},
+	}
+}
+
+// Replicas returns the replica set (fixed at construction).
+func (f *Front) Replicas() []Replica { return f.replicas }
+
+// Uptime reports how long the front has been running.
+func (f *Front) Uptime() time.Duration { return time.Since(f.start) }
+
+// BeginDrain flips the front's readiness off (readyz 503) so load
+// balancers rotate away; in-flight and still-arriving requests keep being
+// served. Idempotent.
+func (f *Front) BeginDrain() { f.draining.Store(true) }
+
+// Ready reports whether the front can serve: not draining and at least
+// one replica ready.
+func (f *Front) Ready() bool {
+	if f.draining.Load() {
+		return false
+	}
+	for _, r := range f.replicas {
+		if r.Healthy() && r.Ready() {
+			return true
+		}
+	}
+	return false
+}
+
+// model returns (creating on demand) the per-model state.
+func (f *Front) model(name string) *modelState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ms, ok := f.models[name]
+	if !ok {
+		ms = &modelState{}
+		f.models[name] = ms
+	}
+	return ms
+}
+
+// route picks a replica for the model: the first healthy, ready ring
+// member under its spill watermark; if every ready member is over
+// watermark, the least-queued ready member (load has saturated the fleet —
+// admission, not routing, is the relief valve then). ok is false when no
+// replica is healthy and ready.
+func (f *Front) route(model string) (idx int, spilled bool, ok bool) {
+	sp := f.scratch.Get().(*[]int)
+	order := f.ring.order(model, *sp)
+	defer func() {
+		*sp = order
+		f.scratch.Put(sp)
+	}()
+	primary := -1
+	best, bestQ := -1, int64(1<<62)
+	for _, i := range order {
+		r := f.replicas[i]
+		if !r.Healthy() || !r.Ready() {
+			continue
+		}
+		if primary < 0 {
+			primary = i
+		}
+		queued, _ := r.Load()
+		wm := f.cfg.SpillWatermark
+		if wm <= 0 {
+			wm = 2 * int64(r.Workers())
+			if wm < 2 {
+				wm = 2
+			}
+		}
+		if queued < wm {
+			return i, i != primary, true
+		}
+		if queued < bestQ {
+			best, bestQ = i, queued
+		}
+	}
+	if best >= 0 {
+		return best, best != primary, true
+	}
+	return 0, false, false
+}
+
+// predict estimates a request's completion time on a replica from the
+// model's live histograms: the backlog drains at one p50 execution per
+// worker, then the request itself costs up to p90. Returns (0, 0) while
+// the model has no samples — a cold model admits everything (rejecting on
+// no data would strand a model nobody has measured yet).
+func (f *Front) predict(ms *modelState, r Replica) (wait, exec time.Duration) {
+	p90 := time.Duration(ms.exec.Quantile(0.90))
+	if p90 <= 0 {
+		return 0, 0
+	}
+	p50 := time.Duration(ms.exec.Quantile(0.50))
+	queued, inflight := r.Load()
+	w := r.Workers()
+	if w < 1 {
+		w = 1
+	}
+	wait = time.Duration(queued+inflight) * p50 / time.Duration(w)
+	return wait, p90
+}
+
+// shed records one rejection (cause counter + decision latency) and
+// returns its error.
+func (ms *modelState) shedReq(cause ShedCause, since time.Time, err error) error {
+	ms.shed[cause].Add(1)
+	ms.reject.Record(time.Since(since))
+	return err
+}
+
+// Infer routes one request through the fleet: admission check, replica
+// choice, execution, accounting. The returned RouteInfo reports placement
+// even on failure (empty replica name when shed before placement).
+func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, serve.InferMeta, RouteInfo, error) {
+	t0 := time.Now()
+	ms := f.model(model)
+	ms.requests.Add(1)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.Deadline)
+		defer cancel()
+	}
+
+	idx, spilled, ok := f.route(model)
+	if !ok {
+		return nil, serve.InferMeta{}, RouteInfo{}, ms.shedReq(ShedNoReplica, t0, ErrNoReplica)
+	}
+	rep := f.replicas[idx]
+	info := RouteInfo{Replica: rep.Name(), Spilled: spilled}
+	if spilled {
+		ms.spills.Add(1)
+	}
+
+	if !f.cfg.NoAdmission {
+		if ms.pending.Load() >= int64(f.cfg.MaxPending) {
+			return nil, serve.InferMeta{}, info, ms.shedReq(ShedQueueFull, t0, ErrQueueFull)
+		}
+		if wait, exec := f.predict(ms, rep); exec > 0 {
+			info.PredictedWait = wait
+			need := wait + time.Duration(float64(exec)*f.cfg.Margin)
+			dl, _ := ctx.Deadline()
+			if budget := time.Until(dl); need > budget {
+				return nil, serve.InferMeta{}, info, ms.shedReq(ShedInfeasible, t0, ErrInfeasible)
+			}
+		}
+	}
+
+	ms.admitted.Add(1)
+	ms.pending.Add(1)
+	outs, meta, err := rep.Infer(ctx, model, feeds, noBatch)
+	ms.pending.Add(-1)
+	// Admitted requests record end-to-end time whatever their outcome —
+	// an admitted request that times out is exactly the signal the
+	// feasibility check must see to stop admitting its successors.
+	ms.e2e.Record(time.Since(t0))
+	if err != nil {
+		ms.errors.Add(1)
+		return nil, meta, info, err
+	}
+	if meta.Exec > 0 {
+		ms.exec.Record(meta.Exec)
+	}
+	return outs, meta, info, nil
+}
+
+// ModelSnapshot is the JSON view of one model's fleet-level accounting.
+type ModelSnapshot struct {
+	Requests int64 `json:"requests"`
+	Admitted int64 `json:"admitted"`
+	Pending  int64 `json:"pending"`
+	Spills   int64 `json:"spills"`
+	Errors   int64 `json:"errors"`
+	// Shed splits rejections by cause (infeasible, queue_full,
+	// no_replica); only non-zero causes appear.
+	Shed map[string]int64 `json:"shed,omitempty"`
+	// Exec/E2E/Reject are the live histograms admission reads: replica
+	// execution time, front end-to-end time, and the decision latency of
+	// rejections. Omitted while empty.
+	Exec   *obs.HistogramSnapshot `json:"exec,omitempty"`
+	E2E    *obs.HistogramSnapshot `json:"e2e,omitempty"`
+	Reject *obs.HistogramSnapshot `json:"reject,omitempty"`
+}
+
+// ReplicaSnapshot is the JSON view of one replica's live state.
+type ReplicaSnapshot struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Ready    bool   `json:"ready"`
+	Queued   int64  `json:"queued"`
+	InFlight int64  `json:"in_flight"`
+	Workers  int    `json:"workers"`
+}
+
+// Snapshot is the JSON view of the whole front (GET /v1/fleet).
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Ready         bool                     `json:"ready"`
+	Draining      bool                     `json:"draining"`
+	Admission     bool                     `json:"admission"`
+	MaxPending    int                      `json:"max_pending"`
+	Replicas      []ReplicaSnapshot        `json:"replicas"`
+	Models        map[string]ModelSnapshot `json:"models"`
+}
+
+func histPtr(h *obs.Histogram) *obs.HistogramSnapshot {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return nil
+	}
+	return &snap
+}
+
+// SnapshotModel reads one model's accounting (zero value when the model
+// has never been requested).
+func (f *Front) SnapshotModel(model string) ModelSnapshot {
+	f.mu.Lock()
+	ms := f.models[model]
+	f.mu.Unlock()
+	if ms == nil {
+		return ModelSnapshot{}
+	}
+	return ms.snapshot()
+}
+
+func (ms *modelState) snapshot() ModelSnapshot {
+	snap := ModelSnapshot{
+		Requests: ms.requests.Load(),
+		Admitted: ms.admitted.Load(),
+		Pending:  ms.pending.Load(),
+		Spills:   ms.spills.Load(),
+		Errors:   ms.errors.Load(),
+		Exec:     histPtr(&ms.exec),
+		E2E:      histPtr(&ms.e2e),
+		Reject:   histPtr(&ms.reject),
+	}
+	for _, c := range shedCauses() {
+		if n := ms.shed[c].Load(); n > 0 {
+			if snap.Shed == nil {
+				snap.Shed = make(map[string]int64, int(numShedCauses))
+			}
+			snap.Shed[c.String()] = n
+		}
+	}
+	return snap
+}
+
+// Snapshot reads the whole front's state.
+func (f *Front) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: f.Uptime().Seconds(),
+		Ready:         f.Ready(),
+		Draining:      f.draining.Load(),
+		Admission:     !f.cfg.NoAdmission,
+		MaxPending:    f.cfg.MaxPending,
+		Replicas:      make([]ReplicaSnapshot, 0, len(f.replicas)),
+		Models:        map[string]ModelSnapshot{},
+	}
+	for _, r := range f.replicas {
+		queued, inflight := r.Load()
+		snap.Replicas = append(snap.Replicas, ReplicaSnapshot{
+			Name:     r.Name(),
+			Healthy:  r.Healthy(),
+			Ready:    r.Ready(),
+			Queued:   queued,
+			InFlight: inflight,
+			Workers:  r.Workers(),
+		})
+	}
+	f.mu.Lock()
+	states := make(map[string]*modelState, len(f.models))
+	for name, ms := range f.models {
+		states[name] = ms
+	}
+	f.mu.Unlock()
+	for name, ms := range states {
+		snap.Models[name] = ms.snapshot()
+	}
+	return snap
+}

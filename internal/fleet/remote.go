@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/serve"
+)
+
+// Remote is a fleet replica reached over the ramield HTTP API. Health,
+// readiness, load, and worker count come from periodic probes of /readyz
+// and /v1/stats (StartProbing), so the routing hot path only reads
+// atomics; Infer posts /v1/infer with the same wire types the daemon
+// serves.
+type Remote struct {
+	name   string
+	base   string // e.g. "http://host:8080", no trailing slash
+	client *http.Client
+
+	healthy  atomic.Bool
+	ready    atomic.Bool
+	queued   atomic.Int64
+	inflight atomic.Int64
+	workers  atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// NewRemote creates a remote replica client for a ramield base URL. The
+// replica reports unhealthy until the first successful Probe.
+func NewRemote(name, baseURL string) *Remote {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Remote{
+		name: name,
+		base: baseURL,
+		// No client-level timeout: per-request deadlines come from the
+		// caller's context (probes bring their own).
+		client: &http.Client{},
+		stop:   make(chan struct{}),
+	}
+}
+
+func (r *Remote) Name() string              { return r.name }
+func (r *Remote) Healthy() bool             { return r.healthy.Load() }
+func (r *Remote) Ready() bool               { return r.ready.Load() }
+func (r *Remote) Load() (q, inflight int64) { return r.queued.Load(), r.inflight.Load() }
+func (r *Remote) Workers() int              { return int(r.workers.Load()) }
+
+// statsProbe is the subset of ramield's /v1/stats the prober consumes.
+type statsProbe struct {
+	Ready bool `json:"ready"`
+	Pool  struct {
+		Workers    int   `json:"workers"`
+		QueueDepth int64 `json:"queue_depth"`
+		InFlight   int64 `json:"in_flight"`
+	} `json:"pool"`
+	Models map[string]struct {
+		QueueDepth int64 `json:"queue_depth"`
+	} `json:"models"`
+}
+
+// Probe refreshes health/readiness/load from one GET /v1/stats. A failed
+// probe marks the replica unhealthy (and not ready) until a later probe
+// succeeds.
+func (r *Remote) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.healthy.Store(false)
+		r.ready.Store(false)
+		return fmt.Errorf("fleet: probing %s: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	var st statsProbe
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		r.healthy.Store(false)
+		r.ready.Store(false)
+		if err == nil {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return fmt.Errorf("fleet: probing %s: %w", r.name, err)
+	}
+	queued := st.Pool.QueueDepth
+	for _, m := range st.Models {
+		queued += m.QueueDepth
+	}
+	r.queued.Store(queued)
+	r.inflight.Store(st.Pool.InFlight)
+	r.workers.Store(int64(st.Pool.Workers))
+	r.healthy.Store(true)
+	r.ready.Store(st.Ready)
+	return nil
+}
+
+// StartProbing probes immediately and then every interval until
+// StopProbing. Probe errors only flip the health flags; they are not
+// surfaced (the next routing decision sees the flag).
+func (r *Remote) StartProbing(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	probe := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		_ = r.Probe(ctx)
+		cancel()
+	}
+	probe()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				probe()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopProbing ends the probe loop. Idempotent.
+func (r *Remote) StopProbing() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// ReplicaError is a failure reported by a remote replica, carrying the
+// daemon's HTTP status and cause label through the front unchanged.
+type ReplicaError struct {
+	Replica string
+	Status  int
+	Cause   string
+	Msg     string
+}
+
+func (e *ReplicaError) Error() string {
+	return fmt.Sprintf("fleet: replica %s: %s (status %d)", e.Replica, e.Msg, e.Status)
+}
+
+// Infer posts one request to the replica's /v1/infer. The caller context's
+// deadline rides along as timeout_ms so the replica's own admission and
+// deadline handling see the same budget.
+func (r *Remote) Infer(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, serve.InferMeta, error) {
+	req := serve.InferRequest{
+		Model:   model,
+		Inputs:  make(map[string]serve.TensorJSON, len(feeds)),
+		NoBatch: noBatch,
+	}
+	for name, t := range feeds {
+		req.Inputs[name] = serve.TensorJSON{Shape: t.Shape(), Data: t.Data()}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMs = int(ms)
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, serve.InferMeta{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, serve.InferMeta{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, serve.InferMeta{}, fmt.Errorf("fleet: replica %s: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		msg := resp.Status
+		if b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); rerr == nil {
+			if jerr := json.Unmarshal(b, &er); jerr == nil && er.Error != "" {
+				msg = er.Error
+			}
+		}
+		return nil, serve.InferMeta{}, &ReplicaError{Replica: r.name, Status: resp.StatusCode, Cause: er.Cause, Msg: msg}
+	}
+	var ir serve.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return nil, serve.InferMeta{}, fmt.Errorf("fleet: replica %s: decoding response: %w", r.name, err)
+	}
+	outs := make(ramiel.Env, len(ir.Outputs))
+	for name, tj := range ir.Outputs {
+		shape := ramiel.NewShape(tj.Shape...)
+		if !shape.Valid() || shape.Numel() != len(tj.Data) {
+			return nil, serve.InferMeta{}, fmt.Errorf("fleet: replica %s: output %q has inconsistent shape %v", r.name, name, tj.Shape)
+		}
+		outs[name] = ramiel.NewTensor(shape, tj.Data)
+	}
+	meta := serve.InferMeta{
+		RequestID: ir.RequestID,
+		BatchSize: ir.BatchSize,
+		Latency:   time.Duration(ir.LatencyUs) * time.Microsecond,
+		BatchWait: time.Duration(ir.BatchWaitUs) * time.Microsecond,
+		QueueWait: time.Duration(ir.QueueWaitUs) * time.Microsecond,
+		Exec:      time.Duration(ir.ExecUs) * time.Microsecond,
+	}
+	return outs, meta, nil
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// vnodesPerReplica is how many virtual nodes each replica contributes to
+// the hash ring. 64 keeps the per-replica share of the keyspace within a
+// few percent of even for small fleets while the ring stays tiny (a few KB
+// of sorted points).
+const vnodesPerReplica = 64
+
+// ring is a consistent-hash ring over replica indices. Keys are model
+// names: hashing the model (rather than the request) pins every request
+// for a model to the same replica, so that replica's program cache,
+// prepacked weights, and session arenas stay warm for it — and adding or
+// removing a replica only remaps the keys that replica's arc owned.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// newRing builds the ring from replica names. Names must be distinct —
+// the ring positions are derived from them, which is what makes routing
+// stable across fronts and restarts.
+func newRing(names []string) *ring {
+	pts := make([]ringPoint, 0, len(names)*vnodesPerReplica)
+	for i, name := range names {
+		for v := 0; v < vnodesPerReplica; v++ {
+			pts = append(pts, ringPoint{fnv64(name + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].hash != pts[b].hash {
+			return pts[a].hash < pts[b].hash
+		}
+		return pts[a].idx < pts[b].idx
+	})
+	return &ring{points: pts, n: len(names)}
+}
+
+// order appends the replica indices for key to out in preference order:
+// the first point at or clockwise of the key's hash owns it, and each
+// further distinct replica along the walk is the next spillover target.
+// out is caller scratch (reused across calls to avoid per-request
+// allocation); every replica index appears exactly once.
+func (r *ring) order(key string, out []int) []int {
+	out = out[:0]
+	if r.n == 0 {
+		return out
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		idx := r.points[(start+i)%len(r.points)].idx
+		seen := false
+		for _, o := range out {
+			if o == idx {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// fnv64 is FNV-1a over the key bytes, finished with a 64-bit avalanche
+// mix. Deterministic across processes (unlike maphash), which is what lets
+// independent fronts agree on placement; the finalizer matters because raw
+// FNV of short, similar strings ("r0#17", "model3") yields numerically
+// adjacent hashes that would clump every vnode of a replica — and every
+// key — onto one arc of the ring.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

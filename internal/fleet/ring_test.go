@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestRingOrderCoversAllReplicasOnce(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	r := newRing(names)
+	var scratch []int
+	for _, key := range []string{"squeezenet", "googlenet", "bert", "x"} {
+		order := r.order(key, scratch)
+		if len(order) != len(names) {
+			t.Fatalf("order(%q) has %d entries, want %d", key, len(order), len(names))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= len(names) {
+				t.Fatalf("order(%q) contains out-of-range index %d", key, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("order(%q) repeats index %d", key, idx)
+			}
+			seen[idx] = true
+		}
+		scratch = order // reuse as scratch, as route() does
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	names := []string{"r0", "r1", "r2"}
+	a, b := newRing(names), newRing(names)
+	for i := 0; i < 50; i++ {
+		key := "model" + strconv.Itoa(i)
+		oa := a.order(key, nil)
+		ob := b.order(key, nil)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %q: ring orders diverge (%v vs %v) — placement must be deterministic", key, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsModels(t *testing.T) {
+	names := []string{"r0", "r1", "r2", "r3"}
+	r := newRing(names)
+	owners := map[int]int{}
+	const keys = 400
+	for i := 0; i < keys; i++ {
+		owners[r.order("model"+strconv.Itoa(i), nil)[0]]++
+	}
+	if len(owners) != len(names) {
+		t.Fatalf("only %d of %d replicas own any of %d keys: %v", len(owners), len(names), keys, owners)
+	}
+	for idx, n := range owners {
+		// With 64 vnodes the share should be within a few x of fair; a
+		// replica owning <5%% or >60%% of keys means the ring is broken.
+		if n < keys/20 || n > keys*3/5 {
+			t.Errorf("replica %d owns %d/%d keys — ring badly unbalanced", idx, n, keys)
+		}
+	}
+}
+
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := newRing([]string{"r0", "r1", "r2", "r3"})
+	// Removing r3: survivors keep their names and relative positions.
+	reduced := newRing([]string{"r0", "r1", "r2"})
+	moved := 0
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		key := "model" + strconv.Itoa(i)
+		before := full.order(key, nil)[0]
+		after := reduced.order(key, nil)[0]
+		if before == 3 {
+			continue // its owner left; it must move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	// Consistent hashing's contract: only the departed replica's arc
+	// remaps. Hash-mod-N would move ~2/3 of the surviving keys.
+	if moved > keys/10 {
+		t.Errorf("%d/%d keys with surviving owners moved on membership change, want ~0", moved, keys)
+	}
+}

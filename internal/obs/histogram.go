@@ -159,6 +159,48 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
+// Quantile returns the interpolated q-quantile (0 < q < 1) in nanoseconds
+// from the live buckets, without allocating — the hook the fleet admission
+// controller and the adaptive batcher poll on their decision paths. The
+// buckets are read racily against concurrent writers (each Load is atomic,
+// the scan is not), which can be off by the in-flight samples; for control
+// decisions over thousands of samples that error is noise. Returns 0 when
+// the histogram is nil or empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	maxNs := h.max.Load()
+	rank := int64(q*float64(total-1)) + 1
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			frac := float64(rank-cum) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if maxNs > 0 && v > maxNs {
+				v = maxNs
+			}
+			return v
+		}
+		cum += c
+	}
+	// Writers raced the scan (bucket adds not yet visible): the q-quantile
+	// is at or beyond everything we saw.
+	return maxNs
+}
+
 // quantile locates the bucket holding the q-th sample of the copied counts
 // and interpolates linearly within it, clamping to the observed max so a
 // lone huge sample doesn't report its bucket's (larger) upper bound.

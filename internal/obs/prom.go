@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file holds the dependency-free Prometheus text-exposition helpers
+// shared by every /metrics renderer (the serving layer's and the fleet
+// front's). They only format — all snapshotting is the caller's.
+
+// PromHeader writes one family's # HELP / # TYPE preamble.
+func PromHeader(w io.Writer, family, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, kind)
+}
+
+// PromHistogram renders one histogram series in the Prometheus histogram
+// convention: cumulative bucket counts keyed by inclusive upper bound `le`
+// in seconds, closed by +Inf, plus _sum and _count. The snapshot's buckets
+// are non-cumulative, non-empty and sorted ascending, so one pass
+// accumulates. labels is the pre-rendered label list without braces, e.g.
+// `model="x",stage="e2e"`.
+func PromHistogram(w io.Writer, family, labels string, snap HistogramSnapshot) {
+	cum := int64(0)
+	for _, b := range snap.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", family, labels, PromFloat(float64(b.UpperNs)/1e9), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", family, labels, PromFloat(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, snap.Count)
+}
+
+// PromLabel escapes a label value per the exposition format (backslash,
+// double quote, newline) and wraps it in quotes.
+func PromLabel(v string) string {
+	v = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+	return `"` + v + `"`
+}
+
+// PromFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent for typical magnitudes.
+func PromFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

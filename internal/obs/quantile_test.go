@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantileMatchesSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, snap.P50Ns}, {0.90, snap.P90Ns}, {0.99, snap.P99Ns}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, Snapshot says %d — the two paths must agree", tc.q, got, tc.want)
+		}
+	}
+	// The quarter-octave buckets bound relative error; p50 of 1..1000µs is
+	// ~500µs and must land within one bucket of it.
+	p50 := time.Duration(h.Quantile(0.50))
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Errorf("p50 = %v, want ≈500µs", p50)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %d, want 0", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	var one Histogram
+	one.Record(time.Millisecond)
+	got := time.Duration(one.Quantile(0.99))
+	if got < 900*time.Microsecond || got > 1100*time.Microsecond {
+		t.Errorf("single-sample p99 = %v, want ≈1ms", got)
+	}
+	// Quantile never exceeds the recorded max, even at q=1.
+	if m := one.Quantile(1.0); m > one.Snapshot().MaxNs {
+		t.Errorf("Quantile(1.0) = %d exceeds recorded max %d", m, one.Snapshot().MaxNs)
+	}
+}
+
+func TestQuantileAllocFree(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i+1) * 10 * time.Microsecond)
+	}
+	allocs := testing.AllocsPerRun(100, func() { h.Quantile(0.9) })
+	if allocs != 0 {
+		t.Errorf("Quantile allocates %v per call — the batching control loop calls it per request", allocs)
+	}
+}

@@ -89,7 +89,7 @@ func TestNoArenaConfig(t *testing.T) {
 func TestStatsEndpointArenaAndRuntime(t *testing.T) {
 	_, ts := newHTTPServer(t, Config{Workers: 2, MaxBatch: 1}, "squeezenet")
 	seed := uint64(1)
-	if resp, _ := postInfer(t, ts.URL, inferRequest{Model: "squeezenet", Seed: &seed}); resp.StatusCode != http.StatusOK {
+	if resp, _ := postInfer(t, ts.URL, InferRequest{Model: "squeezenet", Seed: &seed}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("infer status %d", resp.StatusCode)
 	}
 	resp, err := http.Get(ts.URL + "/v1/stats")

@@ -50,6 +50,10 @@ type batcher struct {
 	flushAfter time.Duration
 	deadline   time.Duration
 	stats      *ModelStats
+	// adapt, when non-nil, chooses the flush window per window from live
+	// latency/arrival measurements (Config.AdaptiveBatch); nil keeps the
+	// static flushAfter policy.
+	adapt *batchAdapter
 
 	mu      sync.Mutex
 	pending []*inferJob
@@ -64,7 +68,7 @@ type batcher struct {
 	inflight sync.WaitGroup
 }
 
-func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats) *batcher {
+func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats, adapt *batchAdapter) *batcher {
 	return &batcher{
 		model:      model,
 		reg:        reg,
@@ -74,7 +78,20 @@ func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource
 		flushAfter: flushAfter,
 		deadline:   deadline,
 		stats:      stats,
+		adapt:      adapt,
 	}
+}
+
+// armWindow picks the flush window for a freshly opened batching window
+// (static flushAfter, or the adaptive controller's choice) and records it
+// in the per-model gauge.
+func (b *batcher) armWindow(pending int) time.Duration {
+	w := b.flushAfter
+	if b.adapt != nil {
+		w = b.adapt.window(pending)
+	}
+	b.stats.FlushWindowNs.Store(int64(w))
+	return w
 }
 
 // submit queues one single-sample request and waits for its slice of the
@@ -82,6 +99,7 @@ func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource
 // completes for its other members.
 func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int, stageTimes, error) {
 	job := &inferJob{feeds: feeds, res: make(chan batchResult, 1), submit: time.Now()}
+	b.adapt.note(job.submit)
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -93,7 +111,7 @@ func (b *batcher) submit(ctx context.Context, feeds ramiel.Env) (ramiel.Env, int
 		b.flushLocked()
 	} else if len(b.pending) == 1 {
 		gen := b.gen
-		b.timer = time.AfterFunc(b.flushAfter, func() { b.flushTimeout(gen) })
+		b.timer = time.AfterFunc(b.armWindow(1), func() { b.flushTimeout(gen) })
 	}
 	b.mu.Unlock()
 

@@ -39,10 +39,10 @@ func fromTensor(t *ramiel.Tensor) TensorJSON {
 	return TensorJSON{Shape: t.Shape(), Data: t.Data()}
 }
 
-// inferRequest is the body of POST /v1/infer. Either Inputs carries the
+// InferRequest is the body of POST /v1/infer. Either Inputs carries the
 // full feed, or Seed asks the server to generate deterministic random
 // inputs (handy for curl smoke tests).
-type inferRequest struct {
+type InferRequest struct {
 	Model     string                `json:"model"`
 	Inputs    map[string]TensorJSON `json:"inputs,omitempty"`
 	Seed      *uint64               `json:"seed,omitempty"`
@@ -50,8 +50,8 @@ type inferRequest struct {
 	TimeoutMs int                   `json:"timeout_ms,omitempty"`
 }
 
-// inferResponse is the body of a successful /v1/infer.
-type inferResponse struct {
+// InferResponse is the body of a successful /v1/infer.
+type InferResponse struct {
 	Model     string                `json:"model"`
 	RequestID uint64                `json:"request_id"`
 	Outputs   map[string]TensorJSON `json:"outputs"`
@@ -184,7 +184,7 @@ func readRuntimeStats() runtimeStatsJSON {
 	}
 }
 
-type errorResponse struct {
+type ErrorResponse struct {
 	Error string `json:"error"`
 	// Cause is the classification label also used by the errors_by_cause
 	// counters and trace spans (validation, compile, execution, deadline,
@@ -228,7 +228,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
 
 // checkFeedSignature verifies client-supplied feeds against the model's
@@ -258,7 +258,7 @@ func checkFeedSignature(g *ramiel.Graph, feeds ramiel.Env) error {
 // writeInferError is writeError for failures of a dispatched inference
 // request, which carry a cause label from the serving taxonomy.
 func writeInferError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error(), Cause: causeOf(err).String()})
+	writeJSON(w, code, ErrorResponse{Error: err.Error(), Cause: causeOf(err).String()})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +296,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	var req inferRequest
+	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
@@ -322,7 +322,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// feed failures caught later by Session.Run.
 		g, err := s.reg.Graph(req.Model)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, StatusFor(err), err)
 			return
 		}
 		if err := checkFeedSignature(g, feeds); err != nil {
@@ -334,7 +334,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		var err error
 		feeds, err = s.RandomFeeds(req.Model, *req.Seed)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, StatusFor(err), err)
 			return
 		}
 	default:
@@ -353,10 +353,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Request-ID", strconv.FormatUint(meta.RequestID, 10))
 	}
 	if err != nil {
-		writeInferError(w, statusFor(err), err)
+		writeInferError(w, StatusFor(err), err)
 		return
 	}
-	resp := inferResponse{
+	resp := InferResponse{
 		Model:       req.Model,
 		RequestID:   meta.RequestID,
 		Outputs:     make(map[string]TensorJSON, len(outs)),
@@ -588,8 +588,8 @@ func (s *Server) opTotals() map[string][]obs.OpTotal {
 	return out
 }
 
-// statusFor maps serving errors onto HTTP status codes.
-func statusFor(err error) int {
+// StatusFor maps serving errors onto HTTP status codes.
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Client went away; 499 is the de-facto status for that (nginx).

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/obs"
 )
@@ -30,49 +28,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // render to a buffer.
 func (s *Server) writeMetrics(w *bufio.Writer) {
 	// Process-level gauges.
-	writeHeader(w, "ramield_uptime_seconds", "gauge", "Time since the serving runtime started.")
-	fmt.Fprintf(w, "ramield_uptime_seconds %s\n", fmtFloat(s.Uptime().Seconds()))
-	writeHeader(w, "ramield_ready", "gauge", "1 once the preload set has compiled (see /readyz).")
+	obs.PromHeader(w, "ramield_uptime_seconds", "gauge", "Time since the serving runtime started.")
+	fmt.Fprintf(w, "ramield_uptime_seconds %s\n", obs.PromFloat(s.Uptime().Seconds()))
+	obs.PromHeader(w, "ramield_ready", "gauge", "1 once the preload set has compiled (see /readyz).")
 	fmt.Fprintf(w, "ramield_ready %d\n", boolToInt(s.Ready()))
 
 	// Registry (compile cache) counters.
 	reg := s.reg.Stats()
-	writeHeader(w, "ramield_compiles_total", "counter", "Model/variant compilations performed.")
+	obs.PromHeader(w, "ramield_compiles_total", "counter", "Model/variant compilations performed.")
 	fmt.Fprintf(w, "ramield_compiles_total %d\n", reg.Compiles)
-	writeHeader(w, "ramield_compile_cache_hits_total", "counter", "Program cache hits.")
+	obs.PromHeader(w, "ramield_compile_cache_hits_total", "counter", "Program cache hits.")
 	fmt.Fprintf(w, "ramield_compile_cache_hits_total %d\n", reg.CacheHits)
-	writeHeader(w, "ramield_compile_cache_misses_total", "counter", "Program cache misses.")
+	obs.PromHeader(w, "ramield_compile_cache_misses_total", "counter", "Program cache misses.")
 	fmt.Fprintf(w, "ramield_compile_cache_misses_total %d\n", reg.CacheMisses)
-	writeHeader(w, "ramield_compile_seconds_total", "counter", "Cumulative time spent compiling.")
-	fmt.Fprintf(w, "ramield_compile_seconds_total %s\n", fmtFloat(float64(reg.CompileMicros)/1e6))
+	obs.PromHeader(w, "ramield_compile_seconds_total", "counter", "Cumulative time spent compiling.")
+	fmt.Fprintf(w, "ramield_compile_seconds_total %s\n", obs.PromFloat(float64(reg.CompileMicros)/1e6))
 
 	// Worker pool gauges.
-	writeHeader(w, "ramield_pool_workers", "gauge", "Configured worker count.")
+	obs.PromHeader(w, "ramield_pool_workers", "gauge", "Configured worker count.")
 	fmt.Fprintf(w, "ramield_pool_workers %d\n", s.cfg.Workers)
-	writeHeader(w, "ramield_pool_queue_depth", "gauge", "Tasks accepted but not yet started.")
+	obs.PromHeader(w, "ramield_pool_queue_depth", "gauge", "Tasks accepted but not yet started.")
 	fmt.Fprintf(w, "ramield_pool_queue_depth %d\n", s.pool.QueueDepth())
-	writeHeader(w, "ramield_pool_in_flight", "gauge", "Tasks currently executing.")
+	obs.PromHeader(w, "ramield_pool_in_flight", "gauge", "Tasks currently executing.")
 	fmt.Fprintf(w, "ramield_pool_in_flight %d\n", s.pool.InFlight())
-	writeHeader(w, "ramield_pool_peak_in_flight", "gauge", "Highest concurrent execution count observed.")
+	obs.PromHeader(w, "ramield_pool_peak_in_flight", "gauge", "Highest concurrent execution count observed.")
 	fmt.Fprintf(w, "ramield_pool_peak_in_flight %d\n", s.pool.PeakInFlight())
 
 	// Arena counters (absent when the arena is disabled).
 	if arena, ok := s.ArenaStats(); ok {
-		writeHeader(w, "ramield_arena_gets_total", "counter", "Arena buffer requests.")
+		obs.PromHeader(w, "ramield_arena_gets_total", "counter", "Arena buffer requests.")
 		fmt.Fprintf(w, "ramield_arena_gets_total %d\n", arena.Gets)
-		writeHeader(w, "ramield_arena_hits_total", "counter", "Arena requests served from free lists.")
+		obs.PromHeader(w, "ramield_arena_hits_total", "counter", "Arena requests served from free lists.")
 		fmt.Fprintf(w, "ramield_arena_hits_total %d\n", arena.Hits)
-		writeHeader(w, "ramield_arena_misses_total", "counter", "Arena requests that allocated.")
+		obs.PromHeader(w, "ramield_arena_misses_total", "counter", "Arena requests that allocated.")
 		fmt.Fprintf(w, "ramield_arena_misses_total %d\n", arena.Misses)
-		writeHeader(w, "ramield_arena_puts_total", "counter", "Buffers recycled back to arenas.")
+		obs.PromHeader(w, "ramield_arena_puts_total", "counter", "Buffers recycled back to arenas.")
 		fmt.Fprintf(w, "ramield_arena_puts_total %d\n", arena.Puts)
-		writeHeader(w, "ramield_arena_alloc_bytes_total", "counter", "Bytes allocated by arena misses.")
+		obs.PromHeader(w, "ramield_arena_alloc_bytes_total", "counter", "Bytes allocated by arena misses.")
 		fmt.Fprintf(w, "ramield_arena_alloc_bytes_total %d\n", arena.AllocBytes)
-		writeHeader(w, "ramield_arena_in_use_bytes", "gauge", "Arena bytes handed out and not yet recycled.")
+		obs.PromHeader(w, "ramield_arena_in_use_bytes", "gauge", "Arena bytes handed out and not yet recycled.")
 		fmt.Fprintf(w, "ramield_arena_in_use_bytes %d\n", arena.InUseBytes)
-		writeHeader(w, "ramield_arena_peak_bytes", "gauge", "Peak arena bytes in use.")
+		obs.PromHeader(w, "ramield_arena_peak_bytes", "gauge", "Peak arena bytes in use.")
 		fmt.Fprintf(w, "ramield_arena_peak_bytes %d\n", arena.PeakBytes)
-		writeHeader(w, "ramield_arena_held_bytes", "gauge", "Arena bytes parked on free lists.")
+		obs.PromHeader(w, "ramield_arena_held_bytes", "gauge", "Arena bytes parked on free lists.")
 		fmt.Fprintf(w, "ramield_arena_held_bytes %d\n", arena.HeldBytes)
 	}
 
@@ -101,8 +99,12 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 		names, snaps, func(m ModelStatsSnapshot) int64 { return m.MaxBatchSeen })
 	writeModelCounter(w, "ramield_batcher_queue_depth", "gauge", "Requests waiting in the micro-batcher window.",
 		names, snaps, func(m ModelStatsSnapshot) int64 { return m.QueueDepth })
+	writeModelCounter(w, "ramield_model_in_flight", "gauge", "Requests dispatched for the model and not yet answered (the fleet spillover signal).",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.InFlight })
+	writeModelCounter(w, "ramield_batch_flush_window_ns", "gauge", "Micro-batch flush window last armed for the model (adaptive batching makes this move with load).",
+		names, snaps, func(m ModelStatsSnapshot) int64 { return m.FlushWindowNs })
 
-	writeHeader(w, "ramield_errors_total", "counter", "Failed requests by cause. Canceled clients carry their own label but are excluded from error-rate SLOs by convention.")
+	obs.PromHeader(w, "ramield_errors_total", "counter", "Failed requests by cause. Canceled clients carry their own label but are excluded from error-rate SLOs by convention.")
 	for _, name := range names {
 		snap := snaps[name]
 		causes := make([]string, 0, len(snap.ErrorsByCause))
@@ -112,11 +114,11 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 		sort.Strings(causes)
 		for _, cause := range causes {
 			fmt.Fprintf(w, "ramield_errors_total{model=%s,cause=%s} %d\n",
-				quoteLabel(name), quoteLabel(cause), snap.ErrorsByCause[cause])
+				obs.PromLabel(name), obs.PromLabel(cause), snap.ErrorsByCause[cause])
 		}
 	}
 
-	writeHeader(w, "ramield_stage_duration_seconds", "histogram", "Request latency by lifecycle stage (batch_assembly, queue_wait, execute, e2e).")
+	obs.PromHeader(w, "ramield_stage_duration_seconds", "histogram", "Request latency by lifecycle stage (batch_assembly, queue_wait, execute, e2e).")
 	for _, name := range names {
 		stages := snaps[name].Stages
 		for _, stage := range obs.Stages() {
@@ -124,8 +126,8 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 			if !ok || snap.Count == 0 {
 				continue
 			}
-			writeHistogram(w, "ramield_stage_duration_seconds",
-				fmt.Sprintf("model=%s,stage=%s", quoteLabel(name), quoteLabel(stage.String())), snap)
+			obs.PromHistogram(w, "ramield_stage_duration_seconds",
+				fmt.Sprintf("model=%s,stage=%s", obs.PromLabel(name), obs.PromLabel(stage.String())), snap)
 		}
 	}
 
@@ -136,61 +138,28 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 		opModels = append(opModels, name)
 	}
 	sort.Strings(opModels)
-	writeHeader(w, "ramield_op_invocations_total", "counter", "Kernel invocations by operator type.")
+	obs.PromHeader(w, "ramield_op_invocations_total", "counter", "Kernel invocations by operator type.")
 	for _, name := range opModels {
 		for _, t := range ops[name] {
 			fmt.Fprintf(w, "ramield_op_invocations_total{model=%s,op=%s} %d\n",
-				quoteLabel(name), quoteLabel(t.Op), t.Count)
+				obs.PromLabel(name), obs.PromLabel(t.Op), t.Count)
 		}
 	}
-	writeHeader(w, "ramield_op_seconds_total", "counter", "Cumulative kernel wall time by operator type.")
+	obs.PromHeader(w, "ramield_op_seconds_total", "counter", "Cumulative kernel wall time by operator type.")
 	for _, name := range opModels {
 		for _, t := range ops[name] {
 			fmt.Fprintf(w, "ramield_op_seconds_total{model=%s,op=%s} %s\n",
-				quoteLabel(name), quoteLabel(t.Op), fmtFloat(float64(t.TotalNs)/1e9))
+				obs.PromLabel(name), obs.PromLabel(t.Op), obs.PromFloat(float64(t.TotalNs)/1e9))
 		}
 	}
-}
-
-// writeHistogram renders one histogram series in the Prometheus histogram
-// convention: cumulative bucket counts keyed by inclusive upper bound `le`
-// in seconds, closed by +Inf, plus _sum and _count. The obs snapshot's
-// buckets are non-cumulative, non-empty and sorted ascending, so one pass
-// accumulates.
-func writeHistogram(w *bufio.Writer, family, labels string, snap obs.HistogramSnapshot) {
-	cum := int64(0)
-	for _, b := range snap.Buckets {
-		cum += b.Count
-		fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", family, labels, fmtFloat(float64(b.UpperNs)/1e9), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, cum)
-	fmt.Fprintf(w, "%s_sum{%s} %s\n", family, labels, fmtFloat(float64(snap.SumNs)/1e9))
-	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, snap.Count)
 }
 
 // writeModelCounter renders one per-model single-value family.
 func writeModelCounter(w *bufio.Writer, family, kind, help string, names []string, snaps map[string]ModelStatsSnapshot, get func(ModelStatsSnapshot) int64) {
-	writeHeader(w, family, kind, help)
+	obs.PromHeader(w, family, kind, help)
 	for _, name := range names {
-		fmt.Fprintf(w, "%s{model=%s} %d\n", family, quoteLabel(name), get(snaps[name]))
+		fmt.Fprintf(w, "%s{model=%s} %d\n", family, obs.PromLabel(name), get(snaps[name]))
 	}
-}
-
-func writeHeader(w *bufio.Writer, family, kind, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, kind)
-}
-
-// quoteLabel escapes a label value per the exposition format (backslash,
-// double quote, newline) and wraps it in quotes.
-func quoteLabel(v string) string {
-	v = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
-	return `"` + v + `"`
-}
-
-// fmtFloat renders a float the way Prometheus clients expect: shortest
-// round-trip representation, no exponent for typical magnitudes.
-func fmtFloat(f float64) string {
-	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 func boolToInt(b bool) int {

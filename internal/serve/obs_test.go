@@ -296,7 +296,7 @@ func TestInferResponseCarriesRequestID(t *testing.T) {
 	if resp.Header.Get("X-Request-ID") == "" {
 		t.Error("missing X-Request-ID header")
 	}
-	var ir inferResponse
+	var ir InferResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestErrorResponseCarriesCause(t *testing.T) {
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("mis-shaped feed = %d, want 400", resp2.StatusCode)
 	}
-	var er errorResponse
+	var er ErrorResponse
 	if err := json.NewDecoder(resp2.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}

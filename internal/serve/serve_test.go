@@ -333,7 +333,7 @@ func newHTTPServer(t *testing.T, cfg Config, zoo ...string) (*Server, *httptest.
 	return s, ts
 }
 
-func postInfer(t *testing.T, url string, req inferRequest) (*http.Response, inferResponse) {
+func postInfer(t *testing.T, url string, req InferRequest) (*http.Response, InferResponse) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -344,7 +344,7 @@ func postInfer(t *testing.T, url string, req inferRequest) (*http.Response, infe
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out inferResponse
+	var out InferResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -366,7 +366,7 @@ func TestHTTPInferTwoModelsConcurrently(t *testing.T) {
 			wg.Add(1)
 			go func(model string, seed uint64) {
 				defer wg.Done()
-				resp, out := postInfer(t, ts.URL, inferRequest{Model: model, Seed: &seed})
+				resp, out := postInfer(t, ts.URL, InferRequest{Model: model, Seed: &seed})
 				if resp.StatusCode != http.StatusOK {
 					t.Errorf("%s: status %d", model, resp.StatusCode)
 					return
@@ -434,7 +434,7 @@ func TestHTTPInferExplicitInputs(t *testing.T) {
 		s.Close(context.Background())
 	}()
 
-	resp, out := postInfer(t, ts.URL, inferRequest{
+	resp, out := postInfer(t, ts.URL, InferRequest{
 		Model:  "tiny",
 		Inputs: map[string]TensorJSON{"x": {Shape: []int{4}, Data: []float32{-1, 0, 1, 2}}},
 	})
@@ -465,22 +465,22 @@ func TestHTTPErrors(t *testing.T) {
 	seed := uint64(1)
 	cases := []struct {
 		name string
-		req  inferRequest
+		req  InferRequest
 		code int
 	}{
-		{"unknown model", inferRequest{Model: "nope", Seed: &seed}, http.StatusNotFound},
-		{"missing model", inferRequest{Seed: &seed}, http.StatusBadRequest},
-		{"no inputs", inferRequest{Model: "tiny"}, http.StatusBadRequest},
-		{"bad shape", inferRequest{Model: "tiny",
+		{"unknown model", InferRequest{Model: "nope", Seed: &seed}, http.StatusNotFound},
+		{"missing model", InferRequest{Seed: &seed}, http.StatusBadRequest},
+		{"no inputs", InferRequest{Model: "tiny"}, http.StatusBadRequest},
+		{"bad shape", InferRequest{Model: "tiny",
 			Inputs: map[string]TensorJSON{"x": {Shape: []int{3}, Data: []float32{1, 2}}}},
 			http.StatusBadRequest},
-		{"wrong input name", inferRequest{Model: "tiny",
+		{"wrong input name", InferRequest{Model: "tiny",
 			Inputs: map[string]TensorJSON{"y": {Shape: []int{4}, Data: []float32{1, 2, 3, 4}}}},
 			http.StatusBadRequest},
-		{"declared shape mismatch", inferRequest{Model: "tiny",
+		{"declared shape mismatch", InferRequest{Model: "tiny",
 			Inputs: map[string]TensorJSON{"x": {Shape: []int{2}, Data: []float32{1, 2}}}},
 			http.StatusBadRequest},
-		{"extra input", inferRequest{Model: "tiny",
+		{"extra input", InferRequest{Model: "tiny",
 			Inputs: map[string]TensorJSON{
 				"x":     {Shape: []int{4}, Data: []float32{1, 2, 3, 4}},
 				"bogus": {Shape: []int{1}, Data: []float32{1}},

@@ -25,8 +25,23 @@ type Config struct {
 	MaxBatch int
 	// FlushTimeout is how long a lone request waits for batch companions
 	// (default 2ms — small against model latency, large against arrival
-	// gaps under load).
+	// gaps under load). With AdaptiveBatch set it becomes the window cap.
 	FlushTimeout time.Duration
+	// AdaptiveBatch replaces the static flush-timeout policy with a
+	// per-model controller that picks each window from live measurements:
+	// the wait budget tracks the model's p50 execution time (from the
+	// stage histograms) and the expected window-fill time comes from an
+	// EWMA of arrival gaps — flush almost immediately when arrivals are
+	// sparse, grow batches toward MaxBatch under load. FlushTimeout and
+	// MinFlush bound the chosen window; the static policy remains the
+	// manual fallback when this is off.
+	AdaptiveBatch bool
+	// MinFlush is the adaptive controller's window floor (default 50µs).
+	MinFlush time.Duration
+	// ModelTuning overrides MaxBatch/FlushTimeout for individual models;
+	// zero fields inherit the global values. Models absent from the map
+	// use the globals.
+	ModelTuning map[string]BatchTuning
 	// Switched selects switched hyperclustering for batch plans (Fig. 9).
 	Switched bool
 	// Deadline is the default per-request deadline (default 30s).
@@ -76,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushTimeout <= 0 {
 		c.FlushTimeout = 2 * time.Millisecond
 	}
+	if c.MinFlush <= 0 {
+		c.MinFlush = 50 * time.Microsecond
+	}
 	if c.Deadline <= 0 {
 		c.Deadline = 30 * time.Second
 	}
@@ -89,6 +107,27 @@ func (c Config) withDefaults() Config {
 		c.TimelineRing = 4
 	}
 	return c
+}
+
+// BatchTuning is a per-model override of the micro-batching knobs (see
+// Config.ModelTuning). Zero fields inherit the global Config values.
+type BatchTuning struct {
+	MaxBatch     int
+	FlushTimeout time.Duration
+}
+
+// tuning resolves the effective micro-batching knobs for a model.
+func (c Config) tuning(model string) (maxBatch int, flush time.Duration) {
+	maxBatch, flush = c.MaxBatch, c.FlushTimeout
+	if t, ok := c.ModelTuning[model]; ok {
+		if t.MaxBatch > 0 {
+			maxBatch = t.MaxBatch
+		}
+		if t.FlushTimeout > 0 {
+			flush = t.FlushTimeout
+		}
+	}
+	return maxBatch, flush
 }
 
 // stageTimes carries a request's per-stage wall time out of dispatch. It is
@@ -222,6 +261,32 @@ func (s *Server) MarkReady() { s.ready.Store(true) }
 // still compiling its preload set is not yet ready for traffic.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
+// BeginDrain flips readiness off without rejecting anything: /readyz turns
+// 503 so fleet routing and load balancers rotate traffic away, while
+// in-flight and still-arriving requests keep being served. Call it before
+// closing the listener; Close then finishes the shutdown. Idempotent.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// Load reports the server's current queueing pressure: requests accepted
+// but not yet picked up (worker-pool backlog plus every model's
+// micro-batcher window) and requests currently executing. This is the
+// signal the fleet tier's spillover watermark and admission controller
+// read.
+func (s *Server) Load() (queued, inflight int64) {
+	queued = s.pool.QueueDepth()
+	inflight = s.pool.InFlight()
+	s.mu.Lock()
+	for _, st := range s.stats {
+		queued += st.QueueDepth.Load()
+	}
+	s.mu.Unlock()
+	return queued, inflight
+}
+
+// Workers reports the configured worker-pool size — the fleet admission
+// controller's service-rate denominator.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
 // Traces returns up to n most-recent request spans, newest first (n <= 0
 // means all retained). Nil when telemetry is disabled.
 func (s *Server) Traces(n int) []obs.Span { return s.traces.Snapshot(n) }
@@ -262,8 +327,16 @@ func (s *Server) batcher(model string) *batcher {
 	}
 	b, ok := s.batchers[model]
 	if !ok {
-		b = newBatcher(model, s.reg, s.pool, s.sessions, s.cfg.MaxBatch, s.cfg.FlushTimeout, s.cfg.Deadline,
-			s.statsLocked(model))
+		maxBatch, flush := s.cfg.tuning(model)
+		st := s.statsLocked(model)
+		var adapt *batchAdapter
+		if s.cfg.AdaptiveBatch {
+			// The controller reads the model's live exec-time histogram;
+			// with telemetry off the histogram is nil and the controller
+			// falls back to arrival-rate-only decisions.
+			adapt = newBatchAdapter(st.stages.Stage(obs.StageExec), s.cfg.MinFlush, flush, maxBatch)
+		}
+		b = newBatcher(model, s.reg, s.pool, s.sessions, maxBatch, flush, s.cfg.Deadline, st, adapt)
 		s.batchers[model] = b
 	}
 	return b
@@ -286,6 +359,8 @@ func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	id := s.reqID.Add(1)
 	st := s.modelStats(model)
 	st.Requests.Add(1)
+	st.InFlight.Add(1)
+	defer st.InFlight.Add(-1)
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
@@ -348,7 +423,8 @@ func (s *Server) record(st *ModelStats, model string, meta InferMeta, ts stageTi
 }
 
 func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, stageTimes, error) {
-	if s.cfg.MaxBatch > 1 && !noBatch {
+	maxBatch, _ := s.cfg.tuning(model)
+	if maxBatch > 1 && !noBatch {
 		b := s.batcher(model)
 		if b == nil {
 			return nil, 0, stageTimes{}, ErrShutdown

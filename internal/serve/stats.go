@@ -56,6 +56,11 @@ func (c ErrorCause) String() string {
 	return "unknown"
 }
 
+// CauseOf classifies a serving error into its ErrorCause label — exported
+// for front ends (the fleet tier) that render serve errors with the same
+// taxonomy the daemon uses.
+func CauseOf(err error) ErrorCause { return causeOf(err) }
+
 // causeOf classifies a serving error. Deadline/cancel are checked first:
 // an expired batch surfaces as the bare context error even when the root
 // run failed with it mid-kernel.
@@ -102,6 +107,16 @@ type ModelStats struct {
 	// micro-batcher; PeakQueueDepth its high-water mark.
 	QueueDepth     atomic.Int64
 	PeakQueueDepth atomic.Int64
+	// InFlight is the number of requests dispatched for the model and not
+	// yet answered (queued, batching, or executing). Together with
+	// QueueDepth this is the pressure signal the fleet tier's spillover
+	// watermark reads, so it is exported rather than kept internal.
+	InFlight atomic.Int64
+	// FlushWindowNs is the micro-batch flush window most recently armed for
+	// the model. Static batching pins it at Config.FlushTimeout; adaptive
+	// batching moves it with load, and this gauge is how that movement is
+	// observed.
+	FlushWindowNs atomic.Int64
 	// stages holds the per-stage latency histograms (batch assembly, queue
 	// wait, execute, end-to-end) that replaced the old mean-only latency
 	// accumulator: p50/p90/p99/max per stage instead of one average. Nil
@@ -164,6 +179,8 @@ type ModelStatsSnapshot struct {
 	MaxBatchSeen   int64            `json:"max_batch_seen"`
 	QueueDepth     int64            `json:"queue_depth"`
 	PeakQueueDepth int64            `json:"peak_queue_depth"`
+	InFlight       int64            `json:"in_flight"`
+	FlushWindowNs  int64            `json:"flush_window_ns,omitempty"`
 	// Stages carries the per-stage latency histograms (count, sum, max,
 	// p50/p90/p99 in ns), keyed by stage label. Absent with telemetry off
 	// or before the first request.
@@ -181,6 +198,8 @@ func (m *ModelStats) Snapshot() ModelStatsSnapshot {
 		MaxBatchSeen:   m.MaxBatchSeen.Load(),
 		QueueDepth:     m.QueueDepth.Load(),
 		PeakQueueDepth: m.PeakQueueDepth.Load(),
+		InFlight:       m.InFlight.Load(),
+		FlushWindowNs:  m.FlushWindowNs.Load(),
 		Stages:         m.stages.Snapshot(),
 	}
 	for c := CauseNone + 1; c < numCauses; c++ {

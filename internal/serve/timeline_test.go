@@ -52,7 +52,7 @@ func TestHTTPTimelineEndpoint(t *testing.T) {
 	}
 
 	seed := uint64(1)
-	resp, _ := postInfer(t, ts.URL, inferRequest{Model: "squeezenet", Seed: &seed})
+	resp, _ := postInfer(t, ts.URL, InferRequest{Model: "squeezenet", Seed: &seed})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("infer: %d", resp.StatusCode)
 	}
@@ -81,7 +81,7 @@ func TestHTTPStatsVariantsAndCalibration(t *testing.T) {
 	_, ts := newHTTPServer(t, Config{Workers: 2, MaxBatch: 1, TimelineEvery: 4}, "squeezenet")
 	seed := uint64(1)
 	for i := 0; i < 3; i++ {
-		resp, _ := postInfer(t, ts.URL, inferRequest{Model: "squeezenet", Seed: &seed})
+		resp, _ := postInfer(t, ts.URL, InferRequest{Model: "squeezenet", Seed: &seed})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("infer: %d", resp.StatusCode)
 		}
