@@ -5,7 +5,9 @@
 // execute on pooled ramiel.Sessions with warm per-session arenas, and the
 // HTTP request context propagates into the run: a client that disconnects
 // or exceeds its deadline aborts its in-flight execution instead of
-// holding a worker slot to completion.
+// holding a worker slot to completion. A panicking kernel fails only its
+// own request — the recovered panic comes back as a cause-labeled 500
+// (stack logged, panics_total counted) while the worker pool keeps serving.
 //
 // Examples:
 //
@@ -36,8 +38,12 @@
 // process behind the fleet front (consistent-hash routing by model,
 // queue-watermark spillover, deadline-feasibility admission control); the
 // front's API (see internal/fleet) is served on -addr in place of the
-// single-server API. Multi-host fleets run one ramield per host behind
-// cmd/ramielfe instead.
+// single-server API. Failed attempts retry on the next ring member up to
+// -max-attempts (bounded by a fleet-wide retry budget), -hedge launches a
+// speculative duplicate when a replica sits on a request, and
+// -breaker-threshold consecutive failures eject a replica from routing
+// until a half-open probe readmits it. Multi-host fleets run one ramield
+// per host behind cmd/ramielfe instead.
 //
 // On SIGTERM/SIGINT the daemon drains: /readyz flips to 503 first (so load
 // balancers stop routing), then the listener closes gracefully and
@@ -155,6 +161,9 @@ func main() {
 	adaptive := flag.Bool("adaptive", true, "latency-aware flush windows from live queue/exec histograms (-flush becomes the cap)")
 	replicasN := flag.Int("replicas", 1, "in-process serving replicas; >1 serves the fleet front (routing + admission) on -addr")
 	admission := flag.Bool("admission", true, "fleet mode: reject deadline-infeasible requests at enqueue")
+	maxAttempts := flag.Int("max-attempts", 0, "fleet mode: total tries per request across replicas (0 = min(3, replicas); 1 disables retries)")
+	hedge := flag.Duration("hedge", 0, "fleet mode: speculative second attempt on another replica after this wait (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "fleet mode: consecutive replica failures that open its circuit breaker (0 = 5; negative disables)")
 	switched := flag.Bool("switched", false, "use switched hyperclustering for batch plans")
 	arena := flag.Bool("arena", true, "arena-backed execution: recycle intermediate tensors across requests")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -247,7 +256,13 @@ func main() {
 		for i, srv := range servers {
 			locals[i] = fleet.NewLocal("r"+strconv.Itoa(i), srv)
 		}
-		front = fleet.New(fleet.Config{NoAdmission: !*admission, Deadline: *deadline}, locals...)
+		front = fleet.New(fleet.Config{
+			NoAdmission:      !*admission,
+			Deadline:         *deadline,
+			MaxAttempts:      *maxAttempts,
+			HedgeDelay:       *hedge,
+			BreakerThreshold: *breakerThreshold,
+		}, locals...)
 		handler = front.Handler()
 		log.Printf("fleet front: %d in-process replicas (admission %v)", len(servers), *admission)
 	} else {

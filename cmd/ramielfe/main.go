@@ -4,7 +4,15 @@
 // routing by model (keeping each replica's program cache, prepacked
 // weights, and session arenas warm), queue-watermark spillover, and
 // deadline-feasibility admission control that rejects infeasible requests
-// in microseconds instead of queueing them to time out.
+// in microseconds instead of queueing them to time out. Replica failures
+// stay the fleet's problem: retryable errors re-route to the next healthy
+// ring member under a fleet-wide retry budget (-max-attempts,
+// -retry-budget), -hedge duplicates requests stuck on a silent replica,
+// and per-replica circuit breakers (-breaker-threshold, -breaker-cooldown)
+// eject repeat offenders from routing until a half-open probe succeeds.
+// Dead remotes are probed on exponential backoff with jitter, not hammered
+// on the -probe tick. 429 sheds carry a Retry-After estimate derived from
+// the predicted queue wait.
 //
 // Endpoints:
 //
@@ -22,6 +30,7 @@
 //	ramielfe -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
 //	ramielfe -inproc 4 -models squeezenet -adaptive
 //	ramielfe -replicas http://a:8080 -admission=false   # route-only
+//	ramielfe -inproc 3 -hedge 20ms -breaker-threshold 3 # tail + failure hardening
 //
 // On SIGTERM/SIGINT the front drains: /readyz flips to 503, new work is
 // rejected, in-flight requests finish, then in-process replicas shut down.
@@ -59,6 +68,12 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "per-model admitted-but-unfinished cap (0 = 4x total workers)")
 	watermark := flag.Int64("watermark", 0, "replica queue depth that triggers spillover to the next ring member (0 = 2x replica workers)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline (feasibility budget)")
+
+	maxAttempts := flag.Int("max-attempts", 0, "total tries per request across replicas, first included (0 = min(3, replicas); 1 disables retries)")
+	hedge := flag.Duration("hedge", 0, "speculative second attempt on another replica after this wait (0 disables hedging)")
+	retryBudget := flag.Float64("retry-budget", 0, "fleet-wide retry tokens earned per admitted request (0 = 0.2; negative = no refill)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive replica failures that open its circuit breaker (0 = 5; negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe request (0 = 2s)")
 
 	modelsFlag := flag.String("models", "squeezenet,googlenet",
 		"in-process replicas: comma-separated zoo models ("+strings.Join(ramiel.ModelNames(), ", ")+"); empty for all")
@@ -114,10 +129,15 @@ func main() {
 	}
 
 	front := fleet.New(fleet.Config{
-		NoAdmission:    !*admission,
-		MaxPending:     *maxPending,
-		SpillWatermark: *watermark,
-		Deadline:       *deadline,
+		NoAdmission:      !*admission,
+		MaxPending:       *maxPending,
+		SpillWatermark:   *watermark,
+		Deadline:         *deadline,
+		MaxAttempts:      *maxAttempts,
+		HedgeDelay:       *hedge,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}, replicas...)
 	for _, r := range probed {
 		r.StartProbing(*probe)

@@ -1,0 +1,23 @@
+package exec
+
+import "fmt"
+
+// PanicError wraps a panic recovered inside a lane goroutine. Kernels run
+// on executor-owned goroutines, so an unrecovered kernel panic would kill
+// the whole process — the opposite of the serving contract, where a bad op
+// is one failed request. The lane recover converts the panic into this
+// error, which then rides the normal failure path: the run's other lanes
+// abort, outstanding arena buffers are abandoned, and Execute returns an
+// error the serving layer classifies as a panic-caused failure.
+//
+// Value is the recovered panic value; Stack is the panicking goroutine's
+// stack at recovery time, captured so the serving layer can log it (the
+// error string itself stays one line).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: kernel panicked: %v", e.Value)
+}

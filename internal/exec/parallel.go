@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -674,6 +675,14 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 		wg.Add(1)
 		go func(li int, lane []*graph.Node) {
 			defer wg.Done()
+			// A panicking kernel must not take the process down. Registered
+			// after wg.Done so it runs first: the failure is recorded (and
+			// the abort broadcast) before the lane is counted finished.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(li, &PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
 			stats := &profile.Lanes[li]
 			// Lane-local environment: shared read-only base + local values.
 			env := make(Env, len(lane)*2)

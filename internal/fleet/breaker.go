@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker machine
+// (Hystrix/Envoy lineage): closed passes traffic and counts consecutive
+// retryable failures; open ejects the replica from routing; half-open
+// admits exactly one probe request whose outcome decides between closing
+// and re-opening.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}
+
+// breaker is a per-replica circuit breaker layered over the health bits:
+// health says "the replica's probe answered", the breaker says "requests
+// actually sent there keep failing at the transport/5xx level". Only
+// retryable failures count (a 4xx proves the replica is alive and
+// healthy); successes reset the streak.
+//
+// Routing consults the breaker in two steps because the ring walk
+// considers several candidates per request: routable() is a non-consuming
+// filter (it also moves open→half-open once the cooldown elapses), and
+// claim() consumes the single half-open probe slot only for the replica
+// actually chosen. A request shed after routing must refund() the slot.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool  // half-open probe slot taken
+	opens    int64 // cumulative closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// routable reports whether routing may consider the replica. Non-consuming;
+// the chosen candidate must claim().
+func (b *breaker) routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		return true
+	case breakerHalfOpen:
+		return !b.probing
+	}
+	return true
+}
+
+// claim takes the half-open probe slot (a no-op while closed). A false
+// return means another request won the slot between routable() and here;
+// the caller should route elsewhere.
+func (b *breaker) claim() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+	}
+	if b.state == breakerHalfOpen {
+		if b.probing {
+			return false
+		}
+		b.probing = true
+	}
+	return true
+}
+
+// refund releases a claimed probe slot without an outcome — the request
+// was shed by admission after routing had already chosen the replica.
+func (b *breaker) refund() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// onSuccess resets the failure streak and closes the breaker (a half-open
+// probe that succeeds re-admits the replica).
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.state = breakerClosed
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records one retryable failure: the threshold'th consecutive
+// failure trips a closed breaker; any failure re-opens a half-open one.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.threshold > 0 && b.fails >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.trip()
+	case breakerOpen:
+		// A straggling attempt launched before the trip; the cooldown
+		// clock is not restarted for it.
+	}
+}
+
+// trip moves to open. Caller holds mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.fails = 0
+	b.probing = false
+}
+
+// snapshot returns the state label and cumulative open count for /v1/fleet
+// and /metrics.
+func (b *breaker) snapshot() (state string, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}

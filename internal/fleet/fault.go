@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/serve"
+)
+
+// ErrInjected is the root of every failure a FaultInjector manufactures,
+// so tests can tell induced failures from real ones.
+var ErrInjected = errors.New("fleet: injected fault")
+
+// FaultConfig tunes a FaultInjector. All probabilities are per-Infer and
+// drawn from one seeded source, so a run is reproducible given the seed
+// and the request order.
+type FaultConfig struct {
+	// Seed feeds the injector's private RNG.
+	Seed int64
+	// ErrorRate is the probability an Infer fails immediately with a
+	// retryable TransportError (a connection reset, as the fleet sees it).
+	ErrorRate float64
+	// DropRate is the probability an Infer hangs until the caller's
+	// context expires — a silently dead replica, the case hedging exists
+	// for.
+	DropRate float64
+	// Latency (plus uniform [0, Jitter)) is added to every Infer before it
+	// reaches the wrapped replica.
+	Latency time.Duration
+	Jitter  time.Duration
+	// FlapPeriod > 0 makes Healthy() flap on a fixed duty cycle: down for
+	// the first FlapDown fraction of every period, up for the rest — a
+	// replica that keeps dying and recovering under the router.
+	FlapPeriod time.Duration
+	FlapDown   float64
+}
+
+// FaultInjector wraps a Replica with configurable, deterministically
+// seeded fault injection: extra latency, transport errors, dropped
+// (hanging) requests, health flapping, and hard kill/revive. It is the
+// harness behind the chaos soak — everything the failure-handling layer
+// claims to survive, on demand and reproducible.
+type FaultInjector struct {
+	inner Replica
+	cfg   FaultConfig
+	start time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	killed atomic.Bool
+	errs   atomic.Int64
+	drops  atomic.Int64
+}
+
+// NewFaultInjector wraps inner. The zero FaultConfig injects nothing.
+func NewFaultInjector(inner Replica, cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{
+		inner: inner,
+		cfg:   cfg,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func (f *FaultInjector) Name() string          { return f.inner.Name() }
+func (f *FaultInjector) Ready() bool           { return !f.killed.Load() && f.inner.Ready() }
+func (f *FaultInjector) Load() (int64, int64)  { return f.inner.Load() }
+func (f *FaultInjector) Workers() int          { return f.inner.Workers() }
+func (f *FaultInjector) InjectedErrors() int64 { return f.errs.Load() }
+func (f *FaultInjector) InjectedDrops() int64  { return f.drops.Load() }
+
+// Kill marks the replica dead (unhealthy, not ready, every Infer fails)
+// until Revive.
+func (f *FaultInjector) Kill() { f.killed.Store(true) }
+
+// Revive undoes Kill.
+func (f *FaultInjector) Revive() { f.killed.Store(false) }
+
+// Healthy reports the wrapped replica's health gated by Kill and the
+// configured flap duty cycle.
+func (f *FaultInjector) Healthy() bool {
+	if f.killed.Load() {
+		return false
+	}
+	if f.cfg.FlapPeriod > 0 && f.cfg.FlapDown > 0 {
+		phase := time.Since(f.start) % f.cfg.FlapPeriod
+		if float64(phase) < f.cfg.FlapDown*float64(f.cfg.FlapPeriod) {
+			return false
+		}
+	}
+	return f.inner.Healthy()
+}
+
+// draw rolls this request's faults under the injector's single RNG.
+func (f *FaultInjector) draw() (errHit, dropHit bool, extra time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	errHit = f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate
+	dropHit = f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate
+	extra = f.cfg.Latency
+	if f.cfg.Jitter > 0 {
+		extra += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+	}
+	return errHit, dropHit, extra
+}
+
+// Infer applies the configured faults, then delegates. Injected errors are
+// TransportErrors — retryable, breaker-visible — because that is the
+// failure class a real dying replica produces.
+func (f *FaultInjector) Infer(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, serve.InferMeta, error) {
+	if f.killed.Load() {
+		f.errs.Add(1)
+		return nil, serve.InferMeta{}, &TransportError{Replica: f.Name(), Err: fmt.Errorf("%w: replica killed", ErrInjected)}
+	}
+	errHit, dropHit, extra := f.draw()
+	if extra > 0 {
+		t := time.NewTimer(extra)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, serve.InferMeta{}, ctx.Err()
+		}
+	}
+	if dropHit {
+		f.drops.Add(1)
+		<-ctx.Done()
+		return nil, serve.InferMeta{}, ctx.Err()
+	}
+	if errHit {
+		f.errs.Add(1)
+		return nil, serve.InferMeta{}, &TransportError{Replica: f.Name(), Err: ErrInjected}
+	}
+	return f.inner.Infer(ctx, model, feeds, noBatch)
+}
+
+// RandomFeeds passes through to the wrapped replica when it supports
+// seeded feed generation.
+func (f *FaultInjector) RandomFeeds(model string, seed uint64) (ramiel.Env, error) {
+	if s, ok := f.inner.(feedSeeder); ok {
+		return s.RandomFeeds(model, seed)
+	}
+	return nil, fmt.Errorf("fleet: replica %s cannot seed feeds", f.Name())
+}

@@ -102,9 +102,35 @@ type Config struct {
 	// context has none (default 30s) — admission needs a budget to check
 	// against.
 	Deadline time.Duration
+
+	// MaxAttempts caps total tries per admitted request — the first
+	// attempt plus any retries/hedges, each on a replica the request has
+	// not tried yet. Default min(3, replica count); 1 disables re-routing.
+	MaxAttempts int
+	// NoRetry forces MaxAttempts to 1 — the A/B baseline for the
+	// failure-handling benchmarks.
+	NoRetry bool
+	// HedgeDelay launches a second attempt on the next healthy ring
+	// member when the first has not answered within this delay — the
+	// "Tail at Scale" hedge against slow or silently dead replicas. First
+	// response wins; the loser is cancelled. 0 disables hedging (default):
+	// retries then happen only on explicit failures.
+	HedgeDelay time.Duration
+	// RetryBudget bounds extra attempts (retries + hedges) fleet-wide to
+	// this fraction of admitted traffic, Envoy-style, so retry
+	// amplification cannot melt an already-overloaded fleet. Default 0.2;
+	// negative means no refill (only a small initial burst).
+	RetryBudget float64
+	// BreakerThreshold is the consecutive retryable-failure count that
+	// trips a replica's circuit breaker, ejecting it from routing until a
+	// half-open probe succeeds. Default 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe. Default 2s.
+	BreakerCooldown time.Duration
 }
 
-func (c Config) withDefaults(totalWorkers int) Config {
+func (c Config) withDefaults(totalWorkers, numReplicas int) Config {
 	if c.MaxPending < 1 {
 		c.MaxPending = 4 * totalWorkers
 		if c.MaxPending < 16 {
@@ -116,6 +142,21 @@ func (c Config) withDefaults(totalWorkers int) Config {
 	}
 	if c.Deadline <= 0 {
 		c.Deadline = 30 * time.Second
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = min(3, max(numReplicas, 1))
+	}
+	if c.NoRetry {
+		c.MaxAttempts = 1
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
 	}
 	return c
 }
@@ -131,6 +172,15 @@ type modelState struct {
 	spills   atomic.Int64
 	errors   atomic.Int64
 	shed     [numShedCauses]atomic.Int64
+
+	// Failure-handling counters: extra attempts launched (retries after a
+	// retryable failure, hedges after HedgeDelay), requests won by each,
+	// and retries forgone because the fleet-wide budget was empty.
+	retries         atomic.Int64
+	retryWins       atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	budgetExhausted atomic.Int64
 
 	exec   obs.Histogram // replica-reported execution time of completed requests
 	e2e    obs.Histogram // front-observed end-to-end time of admitted requests
@@ -148,6 +198,9 @@ type RouteInfo struct {
 	// PredictedWait is the admission controller's queue-wait estimate at
 	// enqueue (zero with admission off or no data yet).
 	PredictedWait time.Duration
+	// Attempts is how many replica tries the request consumed (1 = no
+	// retry or hedge; zero when shed before any attempt).
+	Attempts int
 }
 
 // Front is the fleet tier: ring routing + admission control over a fixed
@@ -156,6 +209,12 @@ type Front struct {
 	cfg      Config
 	replicas []Replica
 	ring     *ring
+
+	// breakers is indexed like replicas; all nil when breakers are
+	// disabled (BreakerThreshold < 0).
+	breakers []*breaker
+	// budget is the fleet-wide retry/hedge token bucket.
+	budget *retryBudget
 
 	mu     sync.Mutex
 	models map[string]*modelState
@@ -177,10 +236,13 @@ func New(cfg Config, replicas ...Replica) *Front {
 		names[i] = r.Name()
 		total += r.Workers()
 	}
-	return &Front{
-		cfg:      cfg.withDefaults(total),
+	cfg = cfg.withDefaults(total, len(replicas))
+	f := &Front{
+		cfg:      cfg,
 		replicas: replicas,
 		ring:     newRing(names),
+		breakers: make([]*breaker, len(replicas)),
+		budget:   newRetryBudget(cfg.RetryBudget, max(cfg.MaxPending/4, 4)),
 		models:   map[string]*modelState{},
 		start:    time.Now(),
 		scratch: sync.Pool{New: func() any {
@@ -188,6 +250,12 @@ func New(cfg Config, replicas ...Replica) *Front {
 			return &s
 		}},
 	}
+	if cfg.BreakerThreshold > 0 {
+		for i := range f.breakers {
+			f.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+	}
+	return f
 }
 
 // Replicas returns the replica set (fixed at construction).
@@ -228,11 +296,14 @@ func (f *Front) model(name string) *modelState {
 }
 
 // route picks a replica for the model: the first healthy, ready ring
-// member under its spill watermark; if every ready member is over
-// watermark, the least-queued ready member (load has saturated the fleet —
-// admission, not routing, is the relief valve then). ok is false when no
-// replica is healthy and ready.
-func (f *Front) route(model string) (idx int, spilled bool, ok bool) {
+// member whose circuit breaker admits traffic and whose queue is under its
+// spill watermark; if every admissible member is over watermark, the
+// least-queued one (load has saturated the fleet — admission, not routing,
+// is the relief valve then). skip is a bitmask of replica indices the
+// request has already tried (retries/hedges must land elsewhere). The
+// chosen replica's half-open probe slot, if any, is claimed. ok is false
+// when no replica qualifies.
+func (f *Front) route(model string, skip uint64) (idx int, spilled bool, ok bool) {
 	sp := f.scratch.Get().(*[]int)
 	order := f.ring.order(model, *sp)
 	defer func() {
@@ -246,8 +317,16 @@ func (f *Front) route(model string) (idx int, spilled bool, ok bool) {
 		if !r.Healthy() || !r.Ready() {
 			continue
 		}
+		// primary is the first live ring member regardless of breaker
+		// state: running anywhere else counts as a spill.
 		if primary < 0 {
 			primary = i
+		}
+		if i < 64 && skip&(1<<uint(i)) != 0 {
+			continue
+		}
+		if b := f.breakers[i]; b != nil && !b.routable() {
+			continue
 		}
 		queued, _ := r.Load()
 		wm := f.cfg.SpillWatermark
@@ -258,6 +337,9 @@ func (f *Front) route(model string) (idx int, spilled bool, ok bool) {
 			}
 		}
 		if queued < wm {
+			if b := f.breakers[i]; b != nil && !b.claim() {
+				continue // lost the half-open probe slot; next member
+			}
 			return i, i != primary, true
 		}
 		if queued < bestQ {
@@ -265,9 +347,35 @@ func (f *Front) route(model string) (idx int, spilled bool, ok bool) {
 		}
 	}
 	if best >= 0 {
+		if b := f.breakers[best]; b != nil {
+			// Best-effort: an extra half-open probe in the saturated case
+			// is harmless.
+			b.claim()
+		}
 		return best, best != primary, true
 	}
 	return 0, false, false
+}
+
+// noteAttempt feeds one attempt's outcome into the replica's breaker.
+// Retryable failures count against it; a success or an application-level
+// error (the replica answered, so it is alive) resets it; the request's
+// own cancellation or deadline says nothing about replica health.
+func (f *Front) noteAttempt(idx int, err error) {
+	b := f.breakers[idx]
+	if b == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		b.onSuccess()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// no signal
+	case Retryable(err):
+		b.onFailure()
+	default:
+		b.onSuccess()
+	}
 }
 
 // predict estimates a request's completion time on a replica from the
@@ -311,7 +419,13 @@ func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBat
 		defer cancel()
 	}
 
-	idx, spilled, ok := f.route(model)
+	// The pending bound needs no placement, so it runs before routing — a
+	// queue-full shed must never consume a breaker's half-open probe slot.
+	if !f.cfg.NoAdmission && ms.pending.Load() >= int64(f.cfg.MaxPending) {
+		return nil, serve.InferMeta{}, RouteInfo{}, ms.shedReq(ShedQueueFull, t0, ErrQueueFull)
+	}
+
+	idx, spilled, ok := f.route(model, 0)
 	if !ok {
 		return nil, serve.InferMeta{}, RouteInfo{}, ms.shedReq(ShedNoReplica, t0, ErrNoReplica)
 	}
@@ -322,23 +436,34 @@ func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBat
 	}
 
 	if !f.cfg.NoAdmission {
-		if ms.pending.Load() >= int64(f.cfg.MaxPending) {
-			return nil, serve.InferMeta{}, info, ms.shedReq(ShedQueueFull, t0, ErrQueueFull)
-		}
 		if wait, exec := f.predict(ms, rep); exec > 0 {
 			info.PredictedWait = wait
 			need := wait + time.Duration(float64(exec)*f.cfg.Margin)
 			dl, _ := ctx.Deadline()
 			if budget := time.Until(dl); need > budget {
+				if b := f.breakers[idx]; b != nil {
+					b.refund()
+				}
 				return nil, serve.InferMeta{}, info, ms.shedReq(ShedInfeasible, t0, ErrInfeasible)
 			}
 		}
 	}
 
 	ms.admitted.Add(1)
+	f.budget.deposit()
 	ms.pending.Add(1)
-	outs, meta, err := rep.Infer(ctx, model, feeds, noBatch)
+	outs, meta, served, attempts, err := f.runAttempts(ctx, ms, model, feeds, noBatch, idx)
 	ms.pending.Add(-1)
+	info.Attempts = attempts
+	if served != "" && served != info.Replica {
+		// A retry or hedge won on a different replica than the one routing
+		// chose: the request effectively spilled mid-flight.
+		info.Replica = served
+		if !info.Spilled {
+			info.Spilled = true
+			ms.spills.Add(1)
+		}
+	}
 	// Admitted requests record end-to-end time whatever their outcome —
 	// an admitted request that times out is exactly the signal the
 	// feasibility check must see to stop admitting its successors.
@@ -363,6 +488,13 @@ type ModelSnapshot struct {
 	// Shed splits rejections by cause (infeasible, queue_full,
 	// no_replica); only non-zero causes appear.
 	Shed map[string]int64 `json:"shed,omitempty"`
+	// Failure-handling counters (zero values omitted): extra attempts
+	// launched and won, and retries forgone on an empty budget.
+	Retries         int64 `json:"retries,omitempty"`
+	RetryWins       int64 `json:"retry_wins,omitempty"`
+	Hedges          int64 `json:"hedges,omitempty"`
+	HedgeWins       int64 `json:"hedge_wins,omitempty"`
+	BudgetExhausted int64 `json:"retry_budget_exhausted,omitempty"`
 	// Exec/E2E/Reject are the live histograms admission reads: replica
 	// execution time, front end-to-end time, and the decision latency of
 	// rejections. Omitted while empty.
@@ -379,6 +511,10 @@ type ReplicaSnapshot struct {
 	Queued   int64  `json:"queued"`
 	InFlight int64  `json:"in_flight"`
 	Workers  int    `json:"workers"`
+	// Breaker is the circuit-breaker state label (closed/open/half_open);
+	// empty when breakers are disabled. BreakerOpens counts trips.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerOpens int64  `json:"breaker_opens,omitempty"`
 }
 
 // Snapshot is the JSON view of the whole front (GET /v1/fleet).
@@ -388,6 +524,9 @@ type Snapshot struct {
 	Draining      bool                     `json:"draining"`
 	Admission     bool                     `json:"admission"`
 	MaxPending    int                      `json:"max_pending"`
+	MaxAttempts   int                      `json:"max_attempts"`
+	HedgeDelayMs  float64                  `json:"hedge_delay_ms,omitempty"`
+	RetryTokens   int64                    `json:"retry_budget_tokens"`
 	Replicas      []ReplicaSnapshot        `json:"replicas"`
 	Models        map[string]ModelSnapshot `json:"models"`
 }
@@ -422,6 +561,12 @@ func (ms *modelState) snapshot() ModelSnapshot {
 		Exec:     histPtr(&ms.exec),
 		E2E:      histPtr(&ms.e2e),
 		Reject:   histPtr(&ms.reject),
+
+		Retries:         ms.retries.Load(),
+		RetryWins:       ms.retryWins.Load(),
+		Hedges:          ms.hedges.Load(),
+		HedgeWins:       ms.hedgeWins.Load(),
+		BudgetExhausted: ms.budgetExhausted.Load(),
 	}
 	for _, c := range shedCauses() {
 		if n := ms.shed[c].Load(); n > 0 {
@@ -442,19 +587,26 @@ func (f *Front) Snapshot() Snapshot {
 		Draining:      f.draining.Load(),
 		Admission:     !f.cfg.NoAdmission,
 		MaxPending:    f.cfg.MaxPending,
+		MaxAttempts:   f.cfg.MaxAttempts,
+		HedgeDelayMs:  float64(f.cfg.HedgeDelay) / float64(time.Millisecond),
+		RetryTokens:   f.budget.tokens.Load() / 1000,
 		Replicas:      make([]ReplicaSnapshot, 0, len(f.replicas)),
 		Models:        map[string]ModelSnapshot{},
 	}
-	for _, r := range f.replicas {
+	for i, r := range f.replicas {
 		queued, inflight := r.Load()
-		snap.Replicas = append(snap.Replicas, ReplicaSnapshot{
+		rs := ReplicaSnapshot{
 			Name:     r.Name(),
 			Healthy:  r.Healthy(),
 			Ready:    r.Ready(),
 			Queued:   queued,
 			InFlight: inflight,
 			Workers:  r.Workers(),
-		})
+		}
+		if b := f.breakers[i]; b != nil {
+			rs.Breaker, rs.BreakerOpens = b.snapshot()
+		}
+		snap.Replicas = append(snap.Replicas, rs)
 	}
 	f.mu.Lock()
 	states := make(map[string]*modelState, len(f.models))

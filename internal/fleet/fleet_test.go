@@ -27,22 +27,38 @@ type fakeReplica struct {
 	workers int
 	exec    time.Duration // reported (and slept) execution time
 
+	healthy  atomic.Bool
 	ready    atomic.Bool
 	queued   atomic.Int64
 	inflight atomic.Int64
 	calls    atomic.Int64
+
+	// failNext > 0 makes the next that many Infer calls fail with failErr
+	// (default: a retryable TransportError) — replica-death simulation.
+	failNext atomic.Int64
+	failErr  atomic.Value // error
 
 	block chan struct{} // when non-nil, Infer waits for close (or ctx)
 }
 
 func newFake(name string, workers int, exec time.Duration) *fakeReplica {
 	f := &fakeReplica{name: name, workers: workers, exec: exec}
+	f.healthy.Store(true)
 	f.ready.Store(true)
 	return f
 }
 
+// fail arms the next n Infer calls to return err (nil = retryable
+// transport error).
+func (f *fakeReplica) fail(n int64, err error) {
+	if err != nil {
+		f.failErr.Store(err)
+	}
+	f.failNext.Store(n)
+}
+
 func (f *fakeReplica) Name() string              { return f.name }
-func (f *fakeReplica) Healthy() bool             { return true }
+func (f *fakeReplica) Healthy() bool             { return f.healthy.Load() }
 func (f *fakeReplica) Ready() bool               { return f.ready.Load() }
 func (f *fakeReplica) Load() (q, inflight int64) { return f.queued.Load(), f.inflight.Load() }
 func (f *fakeReplica) Workers() int              { return f.workers }
@@ -51,6 +67,18 @@ func (f *fakeReplica) Infer(ctx context.Context, model string, feeds ramiel.Env,
 	f.calls.Add(1)
 	f.inflight.Add(1)
 	defer f.inflight.Add(-1)
+	for {
+		n := f.failNext.Load()
+		if n <= 0 {
+			break
+		}
+		if f.failNext.CompareAndSwap(n, n-1) {
+			if err, _ := f.failErr.Load().(error); err != nil {
+				return nil, serve.InferMeta{}, err
+			}
+			return nil, serve.InferMeta{}, &TransportError{Replica: f.name, Err: ErrInjected}
+		}
+	}
 	if f.block != nil {
 		select {
 		case <-f.block:

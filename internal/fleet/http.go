@@ -143,7 +143,15 @@ func (f *Front) handleInfer(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Request-ID", strconv.FormatUint(meta.RequestID, 10))
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			// Tell the client when the shed condition should have cleared:
+			// the predicted queue wait, rounded up to whole seconds (the
+			// header's granularity), minimum 1.
+			secs := int(info.PredictedWait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeError(w, code, err)
 		return
 	}
 	resp := serve.InferResponse{
@@ -224,6 +232,22 @@ func (f *Front) writeMetrics(w *bufio.Writer) {
 	for _, rs := range snap.Replicas {
 		fmt.Fprintf(w, "ramielfe_replica_in_flight{replica=%s} %d\n", obs.PromLabel(rs.Name), rs.InFlight)
 	}
+	if len(snap.Replicas) > 0 && snap.Replicas[0].Breaker != "" {
+		obs.PromHeader(w, "ramielfe_breaker_open", "gauge", "1 while the replica's circuit breaker is not closed (open or half-open).")
+		for _, rs := range snap.Replicas {
+			open := 0
+			if rs.Breaker != "closed" {
+				open = 1
+			}
+			fmt.Fprintf(w, "ramielfe_breaker_open{replica=%s} %d\n", obs.PromLabel(rs.Name), open)
+		}
+		obs.PromHeader(w, "ramielfe_breaker_opens_total", "counter", "Circuit-breaker trips (closed/half-open to open transitions).")
+		for _, rs := range snap.Replicas {
+			fmt.Fprintf(w, "ramielfe_breaker_opens_total{replica=%s} %d\n", obs.PromLabel(rs.Name), rs.BreakerOpens)
+		}
+	}
+	obs.PromHeader(w, "ramielfe_retry_budget_tokens", "gauge", "Whole retry-budget tokens currently available fleet-wide.")
+	fmt.Fprintf(w, "ramielfe_retry_budget_tokens %d\n", snap.RetryTokens)
 
 	models := make([]string, 0, len(snap.Models))
 	for name := range snap.Models {
@@ -247,6 +271,16 @@ func (f *Front) writeMetrics(w *bufio.Writer) {
 		func(m ModelSnapshot) int64 { return m.Spills })
 	writeModelGauge("ramielfe_replica_errors_total", "counter", "Admitted requests that failed on their replica.",
 		func(m ModelSnapshot) int64 { return m.Errors })
+	writeModelGauge("ramielfe_retries_total", "counter", "Extra attempts launched after a retryable replica failure.",
+		func(m ModelSnapshot) int64 { return m.Retries })
+	writeModelGauge("ramielfe_retry_wins_total", "counter", "Requests whose winning response came from a retry attempt.",
+		func(m ModelSnapshot) int64 { return m.RetryWins })
+	writeModelGauge("ramielfe_hedges_total", "counter", "Hedge attempts launched after HedgeDelay without an answer.",
+		func(m ModelSnapshot) int64 { return m.Hedges })
+	writeModelGauge("ramielfe_hedge_wins_total", "counter", "Requests whose winning response came from a hedge attempt.",
+		func(m ModelSnapshot) int64 { return m.HedgeWins })
+	writeModelGauge("ramielfe_retry_budget_exhausted_total", "counter", "Retries or hedges forgone because the fleet-wide budget was empty.",
+		func(m ModelSnapshot) int64 { return m.BudgetExhausted })
 
 	obs.PromHeader(w, "ramielfe_shed_total", "counter", "Requests rejected by admission, by cause.")
 	for _, name := range models {

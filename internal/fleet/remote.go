@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -106,38 +107,69 @@ func (r *Remote) Probe(ctx context.Context) error {
 	return nil
 }
 
-// StartProbing probes immediately and then every interval until
-// StopProbing. Probe errors only flip the health flags; they are not
-// surfaced (the next routing decision sees the flag).
+// StartProbing probes immediately and then on a backoff schedule until
+// StopProbing: every interval while probes succeed, doubling after each
+// consecutive failure up to 16× interval with ±25% jitter — so a dead
+// host is checked at a trickle instead of hammered on a fixed ticker, a
+// recovering one is noticed within the cap, and a fleet of fronts does
+// not probe it in lockstep. The first success resets the schedule. Probe
+// errors only flip the health flags; they are not surfaced (the next
+// routing decision sees the flag).
 func (r *Remote) StartProbing(interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	probe := func() {
+	probe := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), interval)
-		_ = r.Probe(ctx)
-		cancel()
+		defer cancel()
+		return r.Probe(ctx)
 	}
-	probe()
+	fails := 0
+	if probe() != nil {
+		fails = 1
+	}
 	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
+		// Seeded per replica name: deterministic for a given fleet layout,
+		// decorrelated across replicas.
+		rng := rand.New(rand.NewSource(int64(fnv64(r.name))))
 		for {
+			t := time.NewTimer(probeDelay(interval, fails, rng.Float64()))
 			select {
 			case <-t.C:
-				probe()
+				if probe() == nil {
+					fails = 0
+				} else {
+					fails++
+				}
 			case <-r.stop:
+				t.Stop()
 				return
 			}
 		}
 	}()
 }
 
+// probeDelay is the wait before the next probe after fails consecutive
+// failures: interval × 2^fails capped at 16× interval, spread over ±25%
+// by the jitter draw (uniform [0,1)). Pure, so the schedule is unit-tested
+// without a clock.
+func probeDelay(interval time.Duration, fails int, jitter float64) time.Duration {
+	d := interval
+	for i := 0; i < fails && d < 16*interval; i++ {
+		d *= 2
+	}
+	d = min(d, 16*interval)
+	return d + time.Duration((jitter-0.5)*0.5*float64(d))
+}
+
 // StopProbing ends the probe loop. Idempotent.
 func (r *Remote) StopProbing() { r.stopOnce.Do(func() { close(r.stop) }) }
 
 // ReplicaError is a failure reported by a remote replica, carrying the
-// daemon's HTTP status and cause label through the front unchanged.
+// daemon's HTTP status and cause label through the front unchanged. A
+// ReplicaError means the replica answered: only its 5xx responses count as
+// retryable replica failures, and 4xx application errors never trip the
+// circuit breaker (see Retryable).
 type ReplicaError struct {
 	Replica string
 	Status  int
@@ -148,6 +180,23 @@ type ReplicaError struct {
 func (e *ReplicaError) Error() string {
 	return fmt.Sprintf("fleet: replica %s: %s (status %d)", e.Replica, e.Msg, e.Status)
 }
+
+// TransportError is a failure to get an answer from a replica at all —
+// connection refused/reset, DNS failure, or the connection dying
+// mid-response — as opposed to an HTTP response carrying an application
+// error. Transport failures are retryable on another replica and count
+// against the circuit breaker; they are the signature of a dead or dying
+// host. The request's own cancellation/deadline is never wrapped in one.
+type TransportError struct {
+	Replica string
+	Err     error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("fleet: replica %s unreachable: %v", e.Replica, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // Infer posts one request to the replica's /v1/infer. The caller context's
 // deadline rides along as timeout_ms so the replica's own admission and
@@ -177,7 +226,12 @@ func (r *Remote) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := r.client.Do(hreq)
 	if err != nil {
-		return nil, serve.InferMeta{}, fmt.Errorf("fleet: replica %s: %w", r.name, err)
+		if ctx.Err() != nil {
+			// The caller's own deadline or cancellation aborted the call:
+			// that is not evidence against the replica.
+			return nil, serve.InferMeta{}, ctx.Err()
+		}
+		return nil, serve.InferMeta{}, &TransportError{Replica: r.name, Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -192,7 +246,12 @@ func (r *Remote) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	}
 	var ir serve.InferResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-		return nil, serve.InferMeta{}, fmt.Errorf("fleet: replica %s: decoding response: %w", r.name, err)
+		if ctx.Err() != nil {
+			return nil, serve.InferMeta{}, ctx.Err()
+		}
+		// A 200 whose body did not parse is a connection that died
+		// mid-response: transport-class, retryable.
+		return nil, serve.InferMeta{}, &TransportError{Replica: r.name, Err: fmt.Errorf("decoding response: %w", err)}
 	}
 	outs := make(ramiel.Env, len(ir.Outputs))
 	for name, tj := range ir.Outputs {

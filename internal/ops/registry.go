@@ -18,6 +18,22 @@ func register(name string, k AllocKernel) {
 	registry[name] = k
 }
 
+// Register installs a kernel for a custom op type — the extension point
+// embedders and fault-injection harnesses use to add operators without
+// forking the built-in set. The registry stays read-only once serving
+// begins: Register must run before any concurrent Lookup (package init or
+// test setup), exactly like the built-in registrations.
+func Register(name string, k AllocKernel) error {
+	if name == "" || k == nil {
+		return fmt.Errorf("ops: Register requires a name and a kernel")
+	}
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("ops: kernel already registered for %q", name)
+	}
+	registry[name] = k
+	return nil
+}
+
 func init() {
 	register("Conv", convK)
 	register("MaxPool", maxPoolK)

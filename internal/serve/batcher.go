@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -151,6 +152,21 @@ func (b *batcher) flushLocked() {
 	b.inflight.Add(1)
 	go func() {
 		defer b.inflight.Done()
+		// Backstop for panics in the batcher's own merge/split code, which
+		// runs on this goroutine outside the pool's recover. The sends are
+		// non-blocking: members already answered before the panic (their
+		// one-slot buffers full) must not wedge this goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				res := batchResult{err: newPanicError(r, debug.Stack())}
+				for _, job := range jobs {
+					select {
+					case job.res <- res:
+					default:
+					}
+				}
+			}
+		}()
 		b.runBatch(jobs)
 	}()
 }

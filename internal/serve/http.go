@@ -84,6 +84,7 @@ type valueInfoJSON struct {
 type statsResponse struct {
 	UptimeSeconds float64                       `json:"uptime_seconds"`
 	Ready         bool                          `json:"ready"`
+	Panics        int64                         `json:"panics_total"`
 	Registry      RegistryStatsSnapshot         `json:"registry"`
 	Pool          poolStatsJSON                 `json:"pool"`
 	Arena         arenaStatsJSON                `json:"arena"`
@@ -495,6 +496,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: s.Uptime().Seconds(),
 		Ready:         s.Ready(),
+		Panics:        s.Panics(),
 		Registry:      s.reg.Stats(),
 		Pool: poolStatsJSON{
 			Workers:      s.cfg.Workers,

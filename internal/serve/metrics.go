@@ -32,6 +32,8 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 	fmt.Fprintf(w, "ramield_uptime_seconds %s\n", obs.PromFloat(s.Uptime().Seconds()))
 	obs.PromHeader(w, "ramield_ready", "gauge", "1 once the preload set has compiled (see /readyz).")
 	fmt.Fprintf(w, "ramield_ready %d\n", boolToInt(s.Ready()))
+	obs.PromHeader(w, "ramield_panics_total", "counter", "Requests failed by a recovered panic; the per-model split is errors_total{cause=\"panic\"}.")
+	fmt.Fprintf(w, "ramield_panics_total %d\n", s.Panics())
 
 	// Registry (compile cache) counters.
 	reg := s.reg.Stats()

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// ErrPanic marks a request that failed because a panic was recovered
+// somewhere on its path — in a kernel (recovered by the executor's lane
+// goroutines as exec.PanicError), in session handling, or in the batcher.
+// The process survives in every case; the request gets a cause-labeled
+// 500. Matched with errors.Is.
+var ErrPanic = errors.New("serve: recovered panic")
+
+// panicError is a panic recovered at the serving layer (worker pool or
+// batcher), carrying the stack for the panic log. exec-level kernel panics
+// arrive as exec.PanicError instead; isPanic and panicStack treat the two
+// uniformly.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func newPanicError(val any, stack []byte) *panicError {
+	return &panicError{val: val, stack: stack}
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("serve: recovered panic: %v", e.val) }
+func (e *panicError) Unwrap() error { return ErrPanic }
+
+// isPanic reports whether err came from a recovered panic, at either the
+// serving layer or inside the executor.
+func isPanic(err error) bool {
+	if errors.Is(err, ErrPanic) {
+		return true
+	}
+	var pe *exec.PanicError
+	return errors.As(err, &pe)
+}
+
+// panicStack extracts the recovered goroutine's stack from a panic-caused
+// error, or nil if none was captured.
+func panicStack(err error) []byte {
+	var se *panicError
+	if errors.As(err, &se) {
+		return se.stack
+	}
+	var pe *exec.PanicError
+	if errors.As(err, &pe) {
+		return pe.Stack
+	}
+	return nil
+}

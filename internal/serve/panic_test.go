@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ramiel "repro"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// ChaosPanic is a custom op registered through the ops extension point:
+// identity on non-negative input, panic when the first element is
+// negative. It is the trigger behind the panic-isolation tests — a kernel
+// bug on demand, selected per request by the feed data.
+var chaosPanicOnce sync.Once
+
+func registerChaosPanic(t testing.TB) {
+	t.Helper()
+	chaosPanicOnce.Do(func() {
+		err := ops.Register("ChaosPanic", func(in []*tensor.Tensor, attrs ops.Attrs, a tensor.Allocator) ([]*tensor.Tensor, error) {
+			if in[0].Data()[0] < 0 {
+				panic("chaos: negative trigger")
+			}
+			out := tensor.New(in[0].Shape(), tensor.AllocUninit(a, in[0].Numel()))
+			copy(out.Data(), in[0].Data())
+			return []*tensor.Tensor{out}, nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+// panickyModel is x -> ChaosPanic -> out.
+func panickyModel() *ramiel.Graph {
+	g := graph.New("panicky")
+	g.Inputs = []graph.ValueInfo{{Name: "x", Shape: tensor.Shape{4}}}
+	g.AddNode("p", "ChaosPanic", []string{"x"}, []string{"out"}, nil)
+	g.Outputs = []graph.ValueInfo{{Name: "out"}}
+	return g
+}
+
+func TestPanicIsolatedToRequest(t *testing.T) {
+	registerChaosPanic(t)
+	s := New(Config{Workers: 2, MaxBatch: 1})
+	defer s.Close(context.Background())
+	s.RegisterGraph("panicky", panickyModel())
+	s.MarkReady()
+
+	// The triggering request fails with the panic cause...
+	_, _, err := s.Infer(context.Background(), "panicky", tinyFeeds(-9), false)
+	if err == nil {
+		t.Fatal("panicking kernel reported success")
+	}
+	if got := causeOf(err); got != CausePanic {
+		t.Fatalf("causeOf = %v (%v), want panic", got, err)
+	}
+	if !isPanic(err) {
+		t.Fatalf("isPanic(%v) = false", err)
+	}
+	if got := s.Panics(); got != 1 {
+		t.Errorf("Panics() = %d, want 1", got)
+	}
+
+	// ...while the pool keeps its workers and keeps serving. 2x the worker
+	// count of concurrent requests proves no worker goroutine died with the
+	// panic.
+	if got := s.Workers(); got != 2 {
+		t.Fatalf("worker count = %d after panic, want 2", got)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Infer(context.Background(), "panicky", tinyFeeds(float32(i)), false)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d after the panic failed: %v", i, err)
+		}
+	}
+	if got := s.modelStats("panicky").Snapshot().ErrorsByCause[CausePanic.String()]; got != 1 {
+		t.Errorf("errors_by_cause[panic] = %d, want 1", got)
+	}
+}
+
+// TestPanicInBatchDoesNotWedge drives the batched path: a panic while a
+// batch executes must answer every member of the batch (with the panic
+// error) instead of leaving peers blocked forever, and the batcher must
+// survive for the next flush.
+func TestPanicInBatchDoesNotWedge(t *testing.T) {
+	registerChaosPanic(t)
+	s := New(Config{Workers: 2, MaxBatch: 4, FlushTimeout: time.Millisecond})
+	defer s.Close(context.Background())
+	s.RegisterGraph("panicky", panickyModel())
+	s.MarkReady()
+
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			base := float32(i)
+			if i == 0 {
+				base = -5 // one poisoned member per wave
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _, errs[i] = s.Infer(ctx, "panicky", tinyFeeds(base), false)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch with a panicking member wedged")
+	}
+	if errs[0] == nil || causeOf(errs[0]) != CausePanic {
+		t.Errorf("poisoned member got err %v, want cause panic", errs[0])
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil && causeOf(errs[i]) != CausePanic {
+			t.Errorf("batch peer %d got non-panic error %v", i, errs[i])
+		}
+	}
+
+	// The batcher is still alive: a clean wave succeeds end to end.
+	if _, _, err := s.Infer(context.Background(), "panicky", tinyFeeds(1), false); err != nil {
+		t.Fatalf("request after poisoned batch failed: %v", err)
+	}
+}
+
+func TestPanicHTTPSurface(t *testing.T) {
+	registerChaosPanic(t)
+	s := New(Config{Workers: 2, MaxBatch: 1})
+	defer s.Close(context.Background())
+	s.RegisterGraph("panicky", panickyModel())
+	s.MarkReady()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"model":"panicky","inputs":{"x":{"shape":[4],"data":[-1,0,1,2]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Cause != "panic" {
+		t.Errorf("error cause = %q, want panic", er.Cause)
+	}
+
+	// The daemon shrugs it off: next request is a 200, and the stats
+	// surface counts the panic.
+	resp2, err := http.Post(ts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"model":"panicky","inputs":{"x":{"shape":[4],"data":[1,2,3,4]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after panic = %d, want 200", resp2.StatusCode)
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var st struct {
+		Panics int64 `json:"panics_total"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics < 1 {
+		t.Errorf("stats panics_total = %d, want >= 1", st.Panics)
+	}
+
+	var buf bytes.Buffer
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	buf.ReadFrom(rec.Result().Body)
+	if !strings.Contains(buf.String(), "ramield_panics_total") {
+		t.Error("/metrics does not expose ramield_panics_total")
+	}
+}

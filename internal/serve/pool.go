@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,10 +128,23 @@ func (p *Pool) run(t *task) {
 			break
 		}
 	}
-	outs, err := t.fn(ctx)
+	outs, err := p.invoke(t, ctx)
 	p.inflight.Add(-1)
 	t.res <- taskResult{outs: outs, err: err,
 		timing: Timing{Queue: queue, Exec: time.Since(pickup), Ran: true}}
+}
+
+// invoke runs the task's fn with a recover backstop: a panic escaping fn
+// becomes an error result instead of killing the worker goroutine (and
+// with it the whole pool's capacity). Session runs recover one level
+// deeper — this catches anything else submitted to the pool.
+func (p *Pool) invoke(t *task, ctx context.Context) (outs ramiel.Env, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, err = nil, newPanicError(r, debug.Stack())
+		}
+	}()
+	return t.fn(ctx)
 }
 
 // Do runs fn on a pool worker, passing it ctx, and returns its result plus

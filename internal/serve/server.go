@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -181,6 +182,11 @@ type Server struct {
 	slow   *obs.TraceRing // requests at or above cfg.SlowThreshold
 	reqID  atomic.Uint64  // request ID sequence
 	ready  atomic.Bool    // flipped by Warm/MarkReady; read by /readyz
+
+	// panics counts requests failed by a recovered panic (a panicking
+	// batch run counts every member it failed, mirroring errors_total).
+	// The per-model split lives in errors_by_cause under "panic".
+	panics atomic.Int64
 
 	start time.Time
 }
@@ -379,12 +385,31 @@ func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	}
 	cause := causeOf(err)
 	st.noteError(cause)
+	if cause == CausePanic {
+		s.notePanic(model, err)
+	}
 	s.record(st, model, meta, ts, start, cause, err)
 	if err != nil {
 		return nil, meta, err
 	}
 	return outs, meta, nil
 }
+
+// notePanic accounts one panic-failed request and logs the recovered
+// stack — the only serving-path log, because a panic is a code bug that
+// must leave evidence even though the process survives it.
+func (s *Server) notePanic(model string, err error) {
+	s.panics.Add(1)
+	stack := panicStack(err)
+	if stack == nil {
+		stack = []byte("(no stack captured)")
+	}
+	log.Printf("serve: recovered panic serving %q: %v\n%s", model, err, stack)
+}
+
+// Panics reports the number of requests failed by a recovered panic since
+// the server started.
+func (s *Server) Panics() int64 { return s.panics.Load() }
 
 // record feeds one finished request into the stage histograms and trace
 // rings. Everything here is lock-free or per-slot-locked and allocates

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 
 	ramiel "repro"
@@ -56,10 +57,22 @@ func (s *sessionSource) poolFor(prog *ramiel.Program) *sync.Pool {
 }
 
 // run executes the program with a borrowed session under ctx.
-func (s *sessionSource) run(ctx context.Context, prog *ramiel.Program, feeds ramiel.Env) (ramiel.Env, error) {
+func (s *sessionSource) run(ctx context.Context, prog *ramiel.Program, feeds ramiel.Env) (outs ramiel.Env, err error) {
 	pool := s.poolFor(prog)
 	sess := pool.Get().(*ramiel.Session)
-	defer pool.Put(sess)
+	defer func() {
+		if r := recover(); r != nil {
+			// Kernel panics are already recovered inside the executor's
+			// lane goroutines and surface as ordinary errors with the
+			// arena unwound, so a panic crossing Run means session-level
+			// state of unknown consistency: convert it to an error and
+			// drop the session instead of pooling it. The sync.Pool
+			// replaces it on the next Get.
+			outs, err = nil, newPanicError(r, debug.Stack())
+			return
+		}
+		pool.Put(sess)
+	}()
 	return sess.Run(ctx, feeds)
 }
 

@@ -32,6 +32,10 @@ const (
 	CauseCanceled
 	// CauseShutdown: the request arrived while the server was draining.
 	CauseShutdown
+	// CausePanic: a panic was recovered on the request's path — in a
+	// kernel (exec lane), the worker pool, or the batcher. The process
+	// survives; the request fails with a cause-labeled 500.
+	CausePanic
 	numCauses
 )
 
@@ -52,6 +56,8 @@ func (c ErrorCause) String() string {
 		return "canceled"
 	case CauseShutdown:
 		return "shutdown"
+	case CausePanic:
+		return "panic"
 	}
 	return "unknown"
 }
@@ -68,6 +74,10 @@ func causeOf(err error) ErrorCause {
 	switch {
 	case err == nil:
 		return CauseNone
+	// Panic outranks cancellation: a run that panicked and was then
+	// aborted is a panic, not a cancel.
+	case isPanic(err):
+		return CausePanic
 	case errors.Is(err, context.Canceled):
 		return CauseCanceled
 	case errors.Is(err, context.DeadlineExceeded):
