@@ -75,30 +75,36 @@ func (b *breaker) routable() bool {
 	return true
 }
 
-// claim takes the half-open probe slot (a no-op while closed). A false
-// return means another request won the slot between routable() and here;
-// the caller should route elsewhere.
-func (b *breaker) claim() bool {
+// claim takes the half-open probe slot (a no-op while closed). ok is
+// false when another request won the slot between routable() and here —
+// the caller should route elsewhere. probe is true only when this call
+// consumed the half-open slot; the caller must refund() exactly such
+// claims if the attempt ends without a health signal (shed after routing,
+// cancellation, deadline), or the slot leaks and the replica stays
+// ejected forever — half-open has no cooldown escape.
+func (b *breaker) claim() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerOpen {
 		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.probing = false
 	}
 	if b.state == breakerHalfOpen {
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
+		return true, true
 	}
-	return true
+	return true, false
 }
 
 // refund releases a claimed probe slot without an outcome — the request
-// was shed by admission after routing had already chosen the replica.
+// was shed by admission after routing had already chosen the replica, or
+// the probing attempt was cancelled before the replica answered.
 func (b *breaker) refund() {
 	b.mu.Lock()
 	if b.state == breakerHalfOpen {

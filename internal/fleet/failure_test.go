@@ -334,10 +334,13 @@ func TestBreakerStateMachine(t *testing.T) {
 	if !b.routable() {
 		t.Fatal("breaker not routable after cooldown")
 	}
-	if !b.claim() {
-		t.Fatal("first half-open claim refused")
+	if ok, probe := b.claim(); !ok || !probe {
+		t.Fatalf("first half-open claim = (%v, %v), want a consumed probe slot", ok, probe)
 	}
-	if b.routable() || b.claim() {
+	if b.routable() {
+		t.Fatal("routable while the half-open probe slot is taken")
+	}
+	if ok, _ := b.claim(); ok {
 		t.Fatal("second concurrent half-open probe admitted")
 	}
 
@@ -352,7 +355,10 @@ func TestBreakerStateMachine(t *testing.T) {
 
 	// Second probe succeeds: closed, full threshold restored.
 	now = now.Add(time.Minute)
-	if !b.routable() || !b.claim() {
+	if !b.routable() {
+		t.Fatal("breaker not routable after second cooldown")
+	}
+	if ok, probe := b.claim(); !ok || !probe {
 		t.Fatal("probe slot unavailable after second cooldown")
 	}
 	b.onSuccess()
@@ -368,13 +374,130 @@ func TestBreakerStateMachine(t *testing.T) {
 	// A refunded claim frees the slot for the next request.
 	b.onFailure() // trips again (2 + 1)
 	now = now.Add(time.Minute)
-	if !b.claim() {
+	if ok, probe := b.claim(); !ok || !probe {
 		t.Fatal("claim after third cooldown refused")
 	}
 	b.refund()
-	if !b.claim() {
+	if ok, probe := b.claim(); !ok || !probe {
 		t.Fatal("refunded probe slot not reusable")
 	}
+}
+
+// TestCancelledAttemptRefundsProbeSlot is the regression for the probe
+// leak: an attempt that claimed the half-open slot and then ended with
+// cancellation or deadline expiry (hedge loser cancelled by the winner,
+// client disconnect) carries no health signal, but must hand the slot
+// back — half-open has no cooldown escape, so a leaked slot ejects the
+// replica from routing until process restart.
+func TestCancelledAttemptRefundsProbeSlot(t *testing.T) {
+	front := New(Config{BreakerThreshold: 1, BreakerCooldown: time.Minute}, newFake("r0", 1, 0))
+	b := front.breakers[0]
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+
+	b.onFailure() // threshold 1: trips immediately
+	now = now.Add(time.Minute)
+	if ok, probe := b.claim(); !ok || !probe {
+		t.Fatal("half-open claim refused after cooldown")
+	}
+	front.noteAttempt(0, true, context.Canceled)
+	if ok, probe := b.claim(); !ok || !probe {
+		t.Fatal("cancelled probe leaked the half-open slot: replica ejected until restart")
+	}
+	front.noteAttempt(0, true, context.DeadlineExceeded)
+	if ok, _ := b.claim(); !ok {
+		t.Fatal("deadline-expired probe leaked the half-open slot")
+	}
+	// An attempt that never held the slot must not refund someone else's
+	// claim (it was launched while the breaker was closed).
+	front.noteAttempt(0, false, context.Canceled)
+	if ok, _ := b.claim(); ok {
+		t.Fatal("non-probe cancellation refunded a probe slot it did not hold")
+	}
+}
+
+// TestTriedSetWideFleet pins the retry bitset past the 64-replica word
+// boundary the old uint64 mask silently truncated at.
+func TestTriedSetWideFleet(t *testing.T) {
+	var nilSet triedSet
+	if nilSet.has(5) {
+		t.Error("nil triedSet reported a member")
+	}
+	s := newTriedSet(130)
+	for _, i := range []int{0, 63, 64, 65, 127, 128, 129} {
+		if s.has(i) {
+			t.Errorf("fresh set already contains %d", i)
+		}
+		s.add(i)
+		if !s.has(i) {
+			t.Errorf("added %d but has() = false", i)
+		}
+	}
+	if s.has(1) || s.has(66) {
+		t.Error("neighbors of added indices leaked into the set")
+	}
+}
+
+// TestRetryRoutingBeyond64Replicas drives the same fix through route():
+// with every replica but index 65 already tried, a retry must land on 65
+// (the old mask ignored indices >= 64, re-routing retries onto replicas
+// that had already failed the request), and with all replicas tried no
+// candidate remains.
+func TestRetryRoutingBeyond64Replicas(t *testing.T) {
+	const n = 70
+	reps := make([]Replica, n)
+	for i := range reps {
+		reps[i] = newFake(fmt.Sprintf("r%02d", i), 1, 0)
+	}
+	front := New(Config{}, reps...)
+
+	tried := newTriedSet(n)
+	for i := 0; i < n; i++ {
+		if i != 65 {
+			tried.add(i)
+		}
+	}
+	idx, _, _, ok := front.route("m", tried)
+	if !ok || idx != 65 {
+		t.Fatalf("route with all but replica 65 tried = (%d, %v), want the one untried replica", idx, ok)
+	}
+	tried.add(65)
+	if _, _, _, ok := front.route("m", tried); ok {
+		t.Fatal("route found a candidate with every replica already tried")
+	}
+}
+
+// TestQueueFullRetryAfterDerivedFromBacklog asserts the ShedQueueFull
+// Retry-After basis: the pending bound sheds before routing, so the wait
+// estimate must come from the live p50 histogram and the backlog, not a
+// flat 1s floor that invites retries into a saturated fleet.
+func TestQueueFullRetryAfterDerivedFromBacklog(t *testing.T) {
+	f := newFake("r0", 1, 0)
+	f.block = make(chan struct{})
+	front := New(Config{MaxPending: 1}, f)
+	front.model("m").exec.Record(3 * time.Second) // live p50 ~3s
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		front.Infer(context.Background(), "m", nil, false)
+	}()
+	for i := 0; front.SnapshotModel("m").Pending == 0; i++ {
+		if i > 1000 {
+			t.Fatal("first request never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, _, info, err := front.Infer(context.Background(), "m", nil, false)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if info.PredictedWait < time.Second {
+		t.Errorf("queue-full predicted wait = %v, want >= 1s from the 3s-p50 backlog", info.PredictedWait)
+	}
+	close(f.block)
+	<-done
 }
 
 func TestRetryBudgetAccounting(t *testing.T) {

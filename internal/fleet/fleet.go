@@ -209,6 +209,9 @@ type Front struct {
 	cfg      Config
 	replicas []Replica
 	ring     *ring
+	// totalWorkers is the fleet-wide worker count, fixed at construction —
+	// the drain rate behind the queue-full Retry-After estimate.
+	totalWorkers int
 
 	// breakers is indexed like replicas; all nil when breakers are
 	// disabled (BreakerThreshold < 0).
@@ -238,13 +241,14 @@ func New(cfg Config, replicas ...Replica) *Front {
 	}
 	cfg = cfg.withDefaults(total, len(replicas))
 	f := &Front{
-		cfg:      cfg,
-		replicas: replicas,
-		ring:     newRing(names),
-		breakers: make([]*breaker, len(replicas)),
-		budget:   newRetryBudget(cfg.RetryBudget, max(cfg.MaxPending/4, 4)),
-		models:   map[string]*modelState{},
-		start:    time.Now(),
+		cfg:          cfg,
+		replicas:     replicas,
+		ring:         newRing(names),
+		totalWorkers: total,
+		breakers:     make([]*breaker, len(replicas)),
+		budget:       newRetryBudget(cfg.RetryBudget, max(cfg.MaxPending/4, 4)),
+		models:       map[string]*modelState{},
+		start:        time.Now(),
 		scratch: sync.Pool{New: func() any {
 			s := make([]int, 0, 16)
 			return &s
@@ -299,11 +303,13 @@ func (f *Front) model(name string) *modelState {
 // member whose circuit breaker admits traffic and whose queue is under its
 // spill watermark; if every admissible member is over watermark, the
 // least-queued one (load has saturated the fleet — admission, not routing,
-// is the relief valve then). skip is a bitmask of replica indices the
-// request has already tried (retries/hedges must land elsewhere). The
-// chosen replica's half-open probe slot, if any, is claimed. ok is false
-// when no replica qualifies.
-func (f *Front) route(model string, skip uint64) (idx int, spilled bool, ok bool) {
+// is the relief valve then). skip holds the replica indices the request
+// has already tried (retries/hedges must land elsewhere); nil means none.
+// The chosen replica's half-open probe slot, if any, is claimed — probe
+// reports whether it was, and such a claim must be refunded if the
+// attempt ends without a health signal. ok is false when no replica
+// qualifies.
+func (f *Front) route(model string, skip triedSet) (idx int, probe, spilled, ok bool) {
 	sp := f.scratch.Get().(*[]int)
 	order := f.ring.order(model, *sp)
 	defer func() {
@@ -322,7 +328,7 @@ func (f *Front) route(model string, skip uint64) (idx int, spilled bool, ok bool
 		if primary < 0 {
 			primary = i
 		}
-		if i < 64 && skip&(1<<uint(i)) != 0 {
+		if skip.has(i) {
 			continue
 		}
 		if b := f.breakers[i]; b != nil && !b.routable() {
@@ -337,31 +343,41 @@ func (f *Front) route(model string, skip uint64) (idx int, spilled bool, ok bool
 			}
 		}
 		if queued < wm {
-			if b := f.breakers[i]; b != nil && !b.claim() {
-				continue // lost the half-open probe slot; next member
+			if b := f.breakers[i]; b != nil {
+				claimed, prb := b.claim()
+				if !claimed {
+					continue // lost the half-open probe slot; next member
+				}
+				return i, prb, i != primary, true
 			}
-			return i, i != primary, true
+			return i, false, i != primary, true
 		}
 		if queued < bestQ {
 			best, bestQ = i, queued
 		}
 	}
 	if best >= 0 {
+		prb := false
 		if b := f.breakers[best]; b != nil {
 			// Best-effort: an extra half-open probe in the saturated case
-			// is harmless.
-			b.claim()
+			// is harmless, and a lost slot just means the probe rides
+			// another request.
+			_, prb = b.claim()
 		}
-		return best, best != primary, true
+		return best, prb, best != primary, true
 	}
-	return 0, false, false
+	return 0, false, false, false
 }
 
 // noteAttempt feeds one attempt's outcome into the replica's breaker.
 // Retryable failures count against it; a success or an application-level
-// error (the replica answered, so it is alive) resets it; the request's
-// own cancellation or deadline says nothing about replica health.
-func (f *Front) noteAttempt(idx int, err error) {
+// error (the replica answered, so it is alive) resets it. The request's
+// own cancellation or deadline says nothing about replica health — but if
+// this attempt held the half-open probe slot (a hedge loser cancelled by
+// the winner, a client disconnect, a deadline expiring mid-probe), the
+// slot is refunded so the next request can probe; without the refund the
+// replica would stay ejected until restart.
+func (f *Front) noteAttempt(idx int, probe bool, err error) {
 	b := f.breakers[idx]
 	if b == nil {
 		return
@@ -370,7 +386,9 @@ func (f *Front) noteAttempt(idx int, err error) {
 	case err == nil:
 		b.onSuccess()
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// no signal
+		if probe {
+			b.refund()
+		}
 	case Retryable(err):
 		b.onFailure()
 	default:
@@ -398,6 +416,24 @@ func (f *Front) predict(ms *modelState, r Replica) (wait, exec time.Duration) {
 	return wait, p90
 }
 
+// queueFullWait estimates when a queue-full shed should clear: the
+// model's pending backlog drains at one p50 execution per fleet worker.
+// The pending bound sheds before routing, so predict()'s per-replica
+// estimate never runs on this path — this is the Retry-After basis for
+// ShedQueueFull instead of a flat floor that would tell clients to retry
+// straight into a saturated fleet. Zero while the model has no samples.
+func (f *Front) queueFullWait(ms *modelState) time.Duration {
+	p50 := time.Duration(ms.exec.Quantile(0.50))
+	if p50 <= 0 {
+		return 0
+	}
+	w := f.totalWorkers
+	if w < 1 {
+		w = 1
+	}
+	return time.Duration(ms.pending.Load()) * p50 / time.Duration(w)
+}
+
 // shed records one rejection (cause counter + decision latency) and
 // returns its error.
 func (ms *modelState) shedReq(cause ShedCause, since time.Time, err error) error {
@@ -421,11 +457,13 @@ func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBat
 
 	// The pending bound needs no placement, so it runs before routing — a
 	// queue-full shed must never consume a breaker's half-open probe slot.
+	// Its Retry-After estimate comes from the backlog instead.
 	if !f.cfg.NoAdmission && ms.pending.Load() >= int64(f.cfg.MaxPending) {
-		return nil, serve.InferMeta{}, RouteInfo{}, ms.shedReq(ShedQueueFull, t0, ErrQueueFull)
+		info := RouteInfo{PredictedWait: f.queueFullWait(ms)}
+		return nil, serve.InferMeta{}, info, ms.shedReq(ShedQueueFull, t0, ErrQueueFull)
 	}
 
-	idx, spilled, ok := f.route(model, 0)
+	idx, probe, spilled, ok := f.route(model, nil)
 	if !ok {
 		return nil, serve.InferMeta{}, RouteInfo{}, ms.shedReq(ShedNoReplica, t0, ErrNoReplica)
 	}
@@ -441,8 +479,8 @@ func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBat
 			need := wait + time.Duration(float64(exec)*f.cfg.Margin)
 			dl, _ := ctx.Deadline()
 			if budget := time.Until(dl); need > budget {
-				if b := f.breakers[idx]; b != nil {
-					b.refund()
+				if probe {
+					f.breakers[idx].refund()
 				}
 				return nil, serve.InferMeta{}, info, ms.shedReq(ShedInfeasible, t0, ErrInfeasible)
 			}
@@ -452,7 +490,7 @@ func (f *Front) Infer(ctx context.Context, model string, feeds ramiel.Env, noBat
 	ms.admitted.Add(1)
 	f.budget.deposit()
 	ms.pending.Add(1)
-	outs, meta, served, attempts, err := f.runAttempts(ctx, ms, model, feeds, noBatch, idx)
+	outs, meta, served, attempts, err := f.runAttempts(ctx, ms, model, feeds, noBatch, idx, probe)
 	ms.pending.Add(-1)
 	info.Attempts = attempts
 	if served != "" && served != info.Replica {

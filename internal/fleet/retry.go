@@ -95,6 +95,19 @@ func (b *retryBudget) take() bool {
 	}
 }
 
+// triedSet records which replica indices a request has already attempted,
+// as a bitset sized to the fleet — a single word would silently let
+// retries in fleets past 64 replicas land back on a replica that already
+// failed the request. A nil set (the first attempt's route) has no
+// members.
+type triedSet []uint64
+
+func newTriedSet(n int) triedSet { return make(triedSet, (n+63)/64) }
+
+func (t triedSet) add(i int) { t[i>>6] |= 1 << uint(i&63) }
+
+func (t triedSet) has(i int) bool { return t != nil && t[i>>6]&(1<<uint(i&63)) != 0 }
+
 // Attempt kinds, for win accounting.
 const (
 	attemptFirst = iota
@@ -119,27 +132,25 @@ type attemptResult struct {
 // successful response wins and the losers are cancelled; their late
 // results land in a buffered channel, so no goroutine outlives the request
 // blocked on a send — the exactly-once contract the chaos soak asserts.
-func (f *Front) runAttempts(ctx context.Context, ms *modelState, model string, feeds ramiel.Env, noBatch bool, first int) (ramiel.Env, serve.InferMeta, string, int, error) {
+func (f *Front) runAttempts(ctx context.Context, ms *modelState, model string, feeds ramiel.Env, noBatch bool, first int, firstProbe bool) (ramiel.Env, serve.InferMeta, string, int, error) {
 	maxAttempts := f.cfg.MaxAttempts
 	results := make(chan attemptResult, maxAttempts)
 	actx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
-	var tried uint64
+	tried := newTriedSet(len(f.replicas))
 	attempts := 0
-	launch := func(idx, kind int) {
-		if idx < 64 {
-			tried |= 1 << uint(idx)
-		}
+	launch := func(idx, kind int, probe bool) {
+		tried.add(idx)
 		attempts++
 		rep := f.replicas[idx]
 		go func() {
 			outs, meta, err := rep.Infer(actx, model, feeds, noBatch)
-			f.noteAttempt(idx, err)
+			f.noteAttempt(idx, probe, err)
 			results <- attemptResult{outs: outs, meta: meta, err: err, idx: idx, kind: kind}
 		}()
 	}
-	launch(first, attemptFirst)
+	launch(first, attemptFirst, firstProbe)
 
 	var hedge <-chan time.Time
 	if f.cfg.HedgeDelay > 0 && maxAttempts > 1 {
@@ -154,15 +165,20 @@ func (f *Front) runAttempts(ctx context.Context, ms *modelState, model string, f
 		if attempts >= maxAttempts || ctx.Err() != nil {
 			return false
 		}
-		idx, _, ok := f.route(model, tried)
+		idx, probe, _, ok := f.route(model, tried)
 		if !ok {
 			return false
 		}
 		if !f.budget.take() {
+			// The attempt never launches, so routing's half-open claim must
+			// come back — the same leak noteAttempt plugs for cancellations.
+			if probe {
+				f.breakers[idx].refund()
+			}
 			ms.budgetExhausted.Add(1)
 			return false
 		}
-		launch(idx, kind)
+		launch(idx, kind, probe)
 		return true
 	}
 

@@ -3,15 +3,23 @@ package ops
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // registry maps ONNX-style op-type names to their kernels, in the
-// allocator-aware form. It is populated at init time and read-only
-// afterwards, so lookups need no locking.
-var registry = map[string]AllocKernel{}
+// allocator-aware form. The built-in set is installed at init time;
+// regMu makes a late Register (embedders, fault-injection harnesses)
+// safe against concurrent lookups. Lookups run at graph-compile time,
+// not per-op execution, so the read lock costs nothing measurable.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]AllocKernel{}
+)
 
 // register installs a kernel; duplicate registration is a programmer error.
 func register(name string, k AllocKernel) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic("ops: duplicate kernel registration: " + name)
 	}
@@ -20,13 +28,14 @@ func register(name string, k AllocKernel) {
 
 // Register installs a kernel for a custom op type — the extension point
 // embedders and fault-injection harnesses use to add operators without
-// forking the built-in set. The registry stays read-only once serving
-// begins: Register must run before any concurrent Lookup (package init or
-// test setup), exactly like the built-in registrations.
+// forking the built-in set. Safe for concurrent use, though programs a
+// replica has already compiled keep the kernels they resolved.
 func Register(name string, k AllocKernel) error {
 	if name == "" || k == nil {
 		return fmt.Errorf("ops: Register requires a name and a kernel")
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
 		return fmt.Errorf("ops: kernel already registered for %q", name)
 	}
@@ -87,7 +96,9 @@ func Lookup(opType string) (Kernel, error) {
 // LookupAlloc returns the allocator-aware kernel for the op type — the
 // form the executors use so a run's arena reaches every output allocation.
 func LookupAlloc(opType string) (AllocKernel, error) {
+	regMu.RLock()
 	k, ok := registry[opType]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("ops: no kernel registered for op type %q", opType)
 	}
@@ -96,16 +107,20 @@ func LookupAlloc(opType string) (AllocKernel, error) {
 
 // Supported reports whether a kernel exists for the op type.
 func Supported(opType string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	_, ok := registry[opType]
 	return ok
 }
 
 // Names returns all registered op-type names, sorted.
 func Names() []string {
+	regMu.RLock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
