@@ -49,6 +49,20 @@
 // balancers stop routing), then the listener closes gracefully and
 // in-flight requests run to completion before the runtime shuts down.
 //
+// Resource governance is on by default: the daemon detects the tightest
+// cgroup/system memory limit and budgets 80% of it (-mem-budget overrides
+// in bytes; negative disables), split across replicas. The budget drives
+// memory-feasibility admission (429 cause "memory" with a Retry-After
+// drain estimate), caps the session arenas (a run outgrowing the budget
+// mid-flight fails alone with cause "memory" and its session is released
+// to the GC), and feeds the /v1/stats headroom gauge fleet fronts route
+// on. A stuck-run watchdog force-cancels any run exceeding -watchdog times
+// the model's live p99 execution time (floored at -watchdog-floor), so a
+// pathological input degrades one request instead of wedging a worker.
+// Input hardening: request bodies are capped at -max-body (413 cause
+// "body_too_large") and feeds containing NaN/Inf are rejected
+// (-finite-check=false restores raw feeds).
+//
 // Telemetry (stage-latency histograms, request tracing) is always on and
 // costs no allocations per request; -obs=false switches it off for A/B
 // overhead measurements. -timeline N additionally samples every Nth plan
@@ -164,6 +178,11 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 0, "fleet mode: total tries per request across replicas (0 = min(3, replicas); 1 disables retries)")
 	hedge := flag.Duration("hedge", 0, "fleet mode: speculative second attempt on another replica after this wait (0 disables)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "fleet mode: consecutive replica failures that open its circuit breaker (0 = 5; negative disables)")
+	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes for admission + arena caps, split across replicas (0 = 80% of cgroup/system memory; negative disables)")
+	watchdogF := flag.Float64("watchdog", 0, "kill runs exceeding this multiple of the model's live p99 exec time (0 = 20; negative disables)")
+	watchdogFloor := flag.Duration("watchdog-floor", 0, "minimum run age before the watchdog may kill (0 = 2s)")
+	maxBody := flag.Int64("max-body", 0, "POST /v1/infer request-body cap in bytes (0 = 8 MiB; negative disables)")
+	finiteCheck := flag.Bool("finite-check", true, "reject feeds containing NaN or Inf values")
 	switched := flag.Bool("switched", false, "use switched hyperclustering for batch plans")
 	arena := flag.Bool("arena", true, "arena-backed execution: recycle intermediate tensors across requests")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -186,6 +205,18 @@ func main() {
 		log.Fatalf("-replicas %d: want >= 1", *replicasN)
 	}
 
+	budget := *memBudget
+	if budget == 0 {
+		budget = serve.DetectMemoryBudget(0)
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	if budget > 0 && *replicasN > 1 {
+		// Each replica governs its own arenas; split the process budget.
+		budget /= int64(*replicasN)
+	}
+
 	cfg := serve.Config{
 		Workers:       *workers,
 		MaxBatch:      maxBatch,
@@ -200,6 +231,15 @@ func main() {
 		SlowThreshold: *slowTrace,
 		TimelineEvery: *timelineEvery,
 		Compile:       ramiel.Options{Prune: *prune, Clone: *clone, DisableFusion: !*fusion},
+
+		MemBudgetBytes: budget,
+		WatchdogFactor: *watchdogF,
+		WatchdogFloor:  *watchdogFloor,
+		MaxBodyBytes:   *maxBody,
+		NoFiniteCheck:  !*finiteCheck,
+	}
+	if budget > 0 {
+		log.Printf("memory budget: %d MiB per replica", budget>>20)
 	}
 
 	var zoo []string

@@ -12,7 +12,11 @@
 // eject repeat offenders from routing until a half-open probe succeeds.
 // Dead remotes are probed on exponential backoff with jitter, not hammered
 // on the -probe tick. 429 sheds carry a Retry-After estimate derived from
-// the predicted queue wait.
+// the predicted queue wait. Routing also reads each replica's memory
+// headroom (from the stats probe, or live for in-process replicas) and
+// steers away from replicas whose memory governor reports no headroom;
+// -mem-budget governs the in-process replicas the same way ramield's flag
+// does, and -max-body caps the front's own request bodies (413).
 //
 // Endpoints:
 //
@@ -82,6 +86,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4, "in-process replicas: micro-batch cap")
 	flush := flag.Duration("flush", 2*time.Millisecond, "in-process replicas: micro-batch flush window (cap when -adaptive)")
 	adaptive := flag.Bool("adaptive", true, "in-process replicas: latency-aware adaptive flush windows")
+	memBudget := flag.Int64("mem-budget", 0, "in-process replicas: memory budget in bytes, split across them (0 = 80% of cgroup/system memory; negative disables)")
+	maxBody := flag.Int64("max-body", 0, "POST /v1/infer request-body cap in bytes (0 = 8 MiB; negative disables)")
 	flag.Parse()
 
 	var replicas []fleet.Replica
@@ -102,12 +108,23 @@ func main() {
 		if *modelsFlag != "" {
 			zoo = strings.Split(*modelsFlag, ",")
 		}
+		budget := *memBudget
+		if budget == 0 {
+			budget = serve.DetectMemoryBudget(0)
+		}
+		if budget < 0 {
+			budget = 0
+		}
+		if budget > 0 {
+			budget /= int64(*inproc)
+		}
 		cfg := serve.Config{
-			Workers:       *workers,
-			MaxBatch:      *maxBatch,
-			FlushTimeout:  *flush,
-			AdaptiveBatch: *adaptive,
-			Deadline:      *deadline,
+			Workers:        *workers,
+			MaxBatch:       *maxBatch,
+			FlushTimeout:   *flush,
+			AdaptiveBatch:  *adaptive,
+			Deadline:       *deadline,
+			MemBudgetBytes: budget,
 		}
 		warmStart := time.Now()
 		for i := 0; i < *inproc; i++ {
@@ -138,6 +155,7 @@ func main() {
 		RetryBudget:      *retryBudget,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		MaxBodyBytes:     *maxBody,
 	}, replicas...)
 	for _, r := range probed {
 		r.StartProbing(*probe)

@@ -59,6 +59,19 @@
 // measurements (ramiel -calibrate, /v1/stats?calibration=1) — the
 // profile-guided feedback loop behind cost.StaticModel.Rescale.
 //
+// The serving tier is resource-governed: sessions' shared arena carries a
+// hard byte budget (tensor.Arena.SetBudget — an over-budget run fails
+// alone with tensor.ErrArenaBudget instead of growing the heap), the
+// daemon sheds requests whose projected working set would overflow the
+// memory budget (429 with cause "memory" and a Retry-After hint;
+// ramield/ramielfe -mem-budget, default 80% of cgroup/system memory), a
+// stuck-run watchdog force-cancels runs exceeding a multiple of the
+// model's p99 (-watchdog, -watchdog-floor; cause "watchdog"), request
+// bodies are capped (-max-body, 413), and non-finite feeds (NaN/Inf) are
+// rejected at validation (ramiel.CheckFiniteFeeds; -finite-check=false
+// opts out). DESIGN.md's "Resource governance" section has the policy
+// details.
+//
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the system inventory, serving-layer architecture,
 // observability design, ramield quickstart and experiment index.

@@ -420,6 +420,11 @@ type laneStats struct {
 	Slack time.Duration
 	Sends int
 	Recvs int
+	// doneOps counts this lane's completed nodes. Written only by the
+	// owning lane goroutine; read after wg.Wait (a happens-before edge),
+	// so no atomics are needed. It feeds the stall diagnostic attached to
+	// cancellation-class failures — see StallError.
+	doneOps int32
 }
 
 // Profile is the execution trace of one parallel run.
@@ -680,6 +685,14 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 			// the abort broadcast) before the lane is counted finished.
 			defer func() {
 				if r := recover(); r != nil {
+					// An arena budget denial is raised as a panic (the
+					// Allocator interface has no error return) but it is a
+					// resource verdict, not a bug: unwind it as an ordinary
+					// lane failure so the run aborts like a cancellation.
+					if be, ok := r.(*tensor.BudgetError); ok {
+						fail(li, be)
+						return
+					}
 					fail(li, &PanicError{Value: r, Stack: debug.Stack()})
 				}
 			}()
@@ -770,6 +783,7 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 						}
 					}
 				}
+				stats.doneOps = int32(ni + 1)
 			}
 		}(li, lane)
 	}
@@ -793,6 +807,16 @@ func (p *Plan) Execute(ctx context.Context, feeds Env, ar *tensor.Arena) (Env, *
 		}
 	}
 	if runErr != nil {
+		// Cancellation-class aborts carry the stall diagnostic: which op
+		// each unfinished lane was at when the run unwound. This is the
+		// runtime twin of checkFeasible's compile-time stuck list, and it
+		// rides the error into logs and /v1/trace spans. Allocation happens
+		// only on this already-failed path.
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			if stuck := p.stuckAt(profile); len(stuck) > 0 {
+				runErr = &StallError{Err: runErr, Stuck: stuck}
+			}
+		}
 		// The unwound run abandons its in-flight tensors to the GC; take
 		// their bytes out of the arena's in-use accounting so the gauge
 		// reflects reality. Safe here: every lane has exited.

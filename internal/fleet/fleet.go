@@ -128,6 +128,11 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open before
 	// admitting a half-open probe. Default 2s.
 	BreakerCooldown time.Duration
+
+	// MaxBodyBytes caps the front's POST /v1/infer request body (default
+	// 8 MiB, negative disables) — the same input hardening the daemons
+	// apply, enforced before any replica is consulted.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults(totalWorkers, numReplicas int) Config {
@@ -157,6 +162,9 @@ func (c Config) withDefaults(totalWorkers, numReplicas int) Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -342,19 +350,23 @@ func (f *Front) route(model string, skip triedSet) (idx int, probe, spilled, ok 
 				wm = 2
 			}
 		}
-		if queued < wm {
-			if b := f.breakers[i]; b != nil {
-				claimed, prb := b.claim()
-				if !claimed {
-					continue // lost the half-open probe slot; next member
-				}
-				return i, prb, i != primary, true
+		if queued >= wm || memPressured(r) {
+			// Over watermark or out of memory headroom: only a least-queued
+			// fallback once every admissible member is saturated (the
+			// replica's own admission sheds then).
+			if queued < bestQ {
+				best, bestQ = i, queued
 			}
-			return i, false, i != primary, true
+			continue
 		}
-		if queued < bestQ {
-			best, bestQ = i, queued
+		if b := f.breakers[i]; b != nil {
+			claimed, prb := b.claim()
+			if !claimed {
+				continue // lost the half-open probe slot; next member
+			}
+			return i, prb, i != primary, true
 		}
+		return i, false, i != primary, true
 	}
 	if best >= 0 {
 		prb := false
@@ -553,6 +565,10 @@ type ReplicaSnapshot struct {
 	// empty when breakers are disabled. BreakerOpens counts trips.
 	Breaker      string `json:"breaker,omitempty"`
 	BreakerOpens int64  `json:"breaker_opens,omitempty"`
+	// MemGoverned is true when the replica exports a memory-headroom
+	// signal; MemHeadroomBytes is that signal (routing steers away at 0).
+	MemGoverned      bool  `json:"mem_governed,omitempty"`
+	MemHeadroomBytes int64 `json:"mem_headroom_bytes,omitempty"`
 }
 
 // Snapshot is the JSON view of the whole front (GET /v1/fleet).
@@ -643,6 +659,12 @@ func (f *Front) Snapshot() Snapshot {
 		}
 		if b := f.breakers[i]; b != nil {
 			rs.Breaker, rs.BreakerOpens = b.snapshot()
+		}
+		if mr, ok := r.(memReporter); ok {
+			if free, known := mr.MemFree(); known {
+				rs.MemGoverned = true
+				rs.MemHeadroomBytes = free
+			}
 		}
 		snap.Replicas = append(snap.Replicas, rs)
 	}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// memFake is a fakeReplica that also exports a memory-headroom signal, the
+// way Local and probed Remote replicas do.
+type memFake struct {
+	*fakeReplica
+	free  atomic.Int64
+	known atomic.Bool
+}
+
+func newMemFake(name string, workers int) *memFake {
+	m := &memFake{fakeReplica: newFake(name, workers, 0)}
+	m.known.Store(true)
+	m.free.Store(1 << 20)
+	return m
+}
+
+func (m *memFake) MemFree() (int64, bool) { return m.free.Load(), m.known.Load() }
+
+// TestRoutingSkipsMemoryPressuredReplica: a replica reporting zero memory
+// headroom is treated like a saturated one — requests spill past it to a
+// ring member with headroom, and it rejoins routing when headroom returns.
+func TestRoutingSkipsMemoryPressuredReplica(t *testing.T) {
+	a, b := newMemFake("r0", 2), newMemFake("r1", 2)
+	front := New(Config{}, a, b)
+	ctx := context.Background()
+
+	_, _, info, err := front.Infer(ctx, "squeezenet", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, other := a, b
+	if info.Replica == b.name {
+		owner, other = b, a
+	}
+
+	owner.free.Store(0)
+	for i := 0; i < 10; i++ {
+		_, _, info, err := front.Infer(ctx, "squeezenet", nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Replica != other.name {
+			t.Fatalf("request %d routed to memory-pressured owner %s", i, info.Replica)
+		}
+		if !info.Spilled {
+			t.Errorf("request %d off the owner not marked Spilled", i)
+		}
+	}
+
+	// Whole fleet pressured: routing falls back to least-queued instead of
+	// refusing — the chosen replica's own admission sheds if it must.
+	other.free.Store(0)
+	if _, _, _, err := front.Infer(ctx, "squeezenet", nil, false); err != nil {
+		t.Fatalf("fully-pressured fleet refused instead of falling back: %v", err)
+	}
+
+	// Headroom returns → the owner serves again.
+	owner.free.Store(1 << 20)
+	other.free.Store(1 << 20)
+	_, _, info2, err := front.Infer(ctx, "squeezenet", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Replica != owner.name || info2.Spilled {
+		t.Errorf("after recovery routed to %s (spilled %v), want owner %s", info2.Replica, info2.Spilled, owner.name)
+	}
+
+	snap := front.Snapshot()
+	for _, rs := range snap.Replicas {
+		if !rs.MemGoverned {
+			t.Errorf("replica %s snapshot not marked mem-governed", rs.Name)
+		}
+		if rs.MemHeadroomBytes != 1<<20 {
+			t.Errorf("replica %s headroom = %d, want %d", rs.Name, rs.MemHeadroomBytes, 1<<20)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	front.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "ramielfe_replica_mem_headroom_bytes") {
+		t.Error("/metrics missing ramielfe_replica_mem_headroom_bytes for governed replicas")
+	}
+}
+
+// TestUngovernedReplicaNeverMemPressured: replicas without a headroom
+// signal (plain fakes, unprobed remotes) are routed normally — absence of
+// the signal must not read as pressure.
+func TestUngovernedReplicaNeverMemPressured(t *testing.T) {
+	f := newFake("r0", 2, 0)
+	if memPressured(f) {
+		t.Fatal("replica with no memory signal treated as pressured")
+	}
+	m := newMemFake("r1", 2)
+	m.known.Store(false) // governed type, signal not yet known (probe pending)
+	m.free.Store(0)
+	if memPressured(m) {
+		t.Fatal("replica with unknown headroom treated as pressured")
+	}
+	m.known.Store(true)
+	if !memPressured(m) {
+		t.Fatal("zero known headroom not treated as pressured")
+	}
+}
+
+// TestFrontBodyTooLarge: the front's own HTTP surface caps request bodies
+// before routing — oversized POSTs get 413 with cause body_too_large.
+func TestFrontBodyTooLarge(t *testing.T) {
+	front := New(Config{MaxBodyBytes: 256}, newFake("r0", 2, 0))
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	big := `{"model":"m","inputs":{"x":{"shape":[4],"data":[` + strings.Repeat("1,", 4000) + `1]}}}`
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var er struct {
+		Cause string `json:"cause"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Cause != "body_too_large" {
+		t.Errorf("cause = %q, want body_too_large", er.Cause)
+	}
+}

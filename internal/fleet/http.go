@@ -93,8 +93,19 @@ func (f *Front) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST only"})
 		return
 	}
+	if f.cfg.MaxBodyBytes > 0 {
+		// Same body cap the daemons apply: the front must not buffer an
+		// unbounded JSON payload on behalf of a replica that would refuse it.
+		r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	}
 	var req serve.InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%w (limit %d bytes)", serve.ErrBodyTooLarge, mbe.Limit))
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
@@ -244,6 +255,21 @@ func (f *Front) writeMetrics(w *bufio.Writer) {
 		obs.PromHeader(w, "ramielfe_breaker_opens_total", "counter", "Circuit-breaker trips (closed/half-open to open transitions).")
 		for _, rs := range snap.Replicas {
 			fmt.Fprintf(w, "ramielfe_breaker_opens_total{replica=%s} %d\n", obs.PromLabel(rs.Name), rs.BreakerOpens)
+		}
+	}
+	if hasMem := func() bool {
+		for _, rs := range snap.Replicas {
+			if rs.MemGoverned {
+				return true
+			}
+		}
+		return false
+	}(); hasMem {
+		obs.PromHeader(w, "ramielfe_replica_mem_headroom_bytes", "gauge", "Replica memory headroom (budget − in-use − reserved); routing steers away at 0. Only governed replicas appear.")
+		for _, rs := range snap.Replicas {
+			if rs.MemGoverned {
+				fmt.Fprintf(w, "ramielfe_replica_mem_headroom_bytes{replica=%s} %d\n", obs.PromLabel(rs.Name), rs.MemHeadroomBytes)
+			}
 		}
 	}
 	obs.PromHeader(w, "ramielfe_retry_budget_tokens", "gauge", "Whole retry-budget tokens currently available fleet-wide.")

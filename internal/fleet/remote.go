@@ -31,6 +31,11 @@ type Remote struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	workers  atomic.Int64
+	// memFree/memKnown mirror the replica's memory headroom from its stats
+	// probe; memKnown stays false for daemons without governance (or too old
+	// to report it), and routing then ignores memory for this replica.
+	memFree  atomic.Int64
+	memKnown atomic.Bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -58,6 +63,12 @@ func (r *Remote) Ready() bool               { return r.ready.Load() }
 func (r *Remote) Load() (q, inflight int64) { return r.queued.Load(), r.inflight.Load() }
 func (r *Remote) Workers() int              { return int(r.workers.Load()) }
 
+// MemFree reports the replica's last-probed memory headroom; known is false
+// when the replica does not run memory governance.
+func (r *Remote) MemFree() (bytes int64, known bool) {
+	return r.memFree.Load(), r.memKnown.Load()
+}
+
 // statsProbe is the subset of ramield's /v1/stats the prober consumes.
 type statsProbe struct {
 	Ready bool `json:"ready"`
@@ -69,6 +80,10 @@ type statsProbe struct {
 	Models map[string]struct {
 		QueueDepth int64 `json:"queue_depth"`
 	} `json:"models"`
+	Memory struct {
+		Enabled       bool  `json:"enabled"`
+		HeadroomBytes int64 `json:"headroom_bytes"`
+	} `json:"memory"`
 }
 
 // Probe refreshes health/readiness/load from one GET /v1/stats. A failed
@@ -87,7 +102,9 @@ func (r *Remote) Probe(ctx context.Context) error {
 	}
 	defer resp.Body.Close()
 	var st statsProbe
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+	// A stats endpoint is trusted but still bounded: a confused or
+	// compromised peer must not make the prober buffer an unbounded body.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
 		r.healthy.Store(false)
 		r.ready.Store(false)
 		if err == nil {
@@ -102,6 +119,8 @@ func (r *Remote) Probe(ctx context.Context) error {
 	r.queued.Store(queued)
 	r.inflight.Store(st.Pool.InFlight)
 	r.workers.Store(int64(st.Pool.Workers))
+	r.memFree.Store(st.Memory.HeadroomBytes)
+	r.memKnown.Store(st.Memory.Enabled)
 	r.healthy.Store(true)
 	r.ready.Store(st.Ready)
 	return nil

@@ -30,6 +30,28 @@ type Replica interface {
 	Workers() int
 }
 
+// memReporter is implemented by replicas that export a memory-headroom
+// signal (Local over a governed serve.Server, Remote probing a governed
+// daemon's /v1/stats). Optional: replicas without it — including test
+// fakes — are simply routed without regard to memory.
+type memReporter interface {
+	// MemFree reports budget − in-use − reserved; known is false when the
+	// replica runs no memory governance.
+	MemFree() (bytes int64, known bool)
+}
+
+// memPressured reports whether routing should steer around the replica:
+// its memory governor is active and its headroom is exhausted, so new work
+// sent there would be shed with cause "memory" anyway.
+func memPressured(r Replica) bool {
+	if mr, ok := r.(memReporter); ok {
+		if free, known := mr.MemFree(); known && free <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // feedSeeder is implemented by replicas that can build deterministic
 // random feeds for a model (in-process ones, which hold the graph). The
 // front's HTTP seed mode uses it.
@@ -69,6 +91,10 @@ func (l *Local) Ready() bool { return l.srv.Ready() }
 func (l *Local) Load() (queued, inflight int64) { return l.srv.Load() }
 
 func (l *Local) Workers() int { return l.srv.Workers() }
+
+// MemFree reports the wrapped server's live memory headroom (memReporter);
+// known is false when the server runs without a memory budget.
+func (l *Local) MemFree() (bytes int64, known bool) { return l.srv.MemHeadroom() }
 
 // RandomFeeds builds deterministic valid feeds for the model (feedSeeder).
 func (l *Local) RandomFeeds(model string, seed uint64) (ramiel.Env, error) {

@@ -51,6 +51,10 @@ type batcher struct {
 	flushAfter time.Duration
 	deadline   time.Duration
 	stats      *ModelStats
+	// dog is the server's stuck-run watchdog (nil = off): batch runs
+	// register with it like unbatched ones, so a wedged batch is killed
+	// instead of holding a worker until the batch deadline.
+	dog *watchdog
 	// adapt, when non-nil, chooses the flush window per window from live
 	// latency/arrival measurements (Config.AdaptiveBatch); nil keeps the
 	// static flushAfter policy.
@@ -69,7 +73,7 @@ type batcher struct {
 	inflight sync.WaitGroup
 }
 
-func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats, adapt *batchAdapter) *batcher {
+func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource, maxBatch int, flushAfter, deadline time.Duration, stats *ModelStats, adapt *batchAdapter, dog *watchdog) *batcher {
 	return &batcher{
 		model:      model,
 		reg:        reg,
@@ -80,6 +84,7 @@ func newBatcher(model string, reg *Registry, pool *Pool, sessions *sessionSource
 		deadline:   deadline,
 		stats:      stats,
 		adapt:      adapt,
+		dog:        dog,
 	}
 }
 
@@ -200,10 +205,23 @@ func (b *batcher) runBatch(jobs []*inferJob) {
 		}
 		feeds = merged
 	}
+	dogID := b.dog.batchID()
 	outs, timing, err := b.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
-		return b.sessions.run(runCtx, prog, feeds)
+		// The batch already owns a cancel (its deadline context); the
+		// watchdog reuses it, so a wedged batch degrades one window, not a
+		// worker slot. The kill fails every member with cause "watchdog".
+		slot := b.dog.begin(b.model, b.stats, dogID, cancel)
+		outs, err := b.sessions.run(runCtx, prog, feeds)
+		if b.dog.end(slot) && err != nil {
+			err = fmt.Errorf("%w: %w", ErrWatchdogKilled, err)
+		}
+		return outs, err
 	})
 	if err != nil {
+		if !errors.Is(err, ErrWatchdogKilled) && b.dog.wasKilled(dogID) {
+			// Pool.Do returned the bare context error; re-attach the kill.
+			err = fmt.Errorf("%w: %w", ErrWatchdogKilled, err)
+		}
 		b.failAll(jobs, flushT, timing, err)
 		return
 	}

@@ -93,7 +93,11 @@ type statsResponse struct {
 	// Ops is the per-model, per-op-type execution time table, merged across
 	// the model's compiled batch variants — where model time actually goes.
 	// Only models with a ready compiled program appear.
-	Ops map[string][]obs.OpTotal `json:"ops,omitempty"`
+	// Memory is the resource-governance view: budget, reservation ledger,
+	// headroom, shed/kill counters. Enabled=false when no budget is set;
+	// the fleet tier's stats probe reads HeadroomBytes for routing.
+	Memory MemoryStatsSnapshot      `json:"memory"`
+	Ops    map[string][]obs.OpTotal `json:"ops,omitempty"`
 	// OpsByVariant breaks Ops out per hypercluster batch variant
 	// (model → "batch_N" → table); populated only for ?variants=1.
 	OpsByVariant map[string]map[string][]obs.OpTotal `json:"ops_by_variant,omitempty"`
@@ -297,8 +301,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	if s.cfg.MaxBodyBytes > 0 {
+		// Bound the body before the decoder touches it: an unbounded JSON
+		// array must not be able to allocate past the configured cap.
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeInferError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%w (limit %d bytes)", ErrBodyTooLarge, mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -354,6 +369,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Request-ID", strconv.FormatUint(meta.RequestID, 10))
 	}
 	if err != nil {
+		if errors.Is(err, ErrMemoryPressure) {
+			// Tell shed clients when the admitted backlog should have
+			// drained enough to retry.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(s.memRetryAfter(req.Model)/time.Second)+1))
+		}
 		writeInferError(w, StatusFor(err), err)
 		return
 	}
@@ -505,6 +526,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PeakInFlight: s.pool.PeakInFlight(),
 		},
 		Arena:   arena,
+		Memory:  s.MemoryStats(),
 		Runtime: readRuntimeStats(),
 		Models:  models,
 		Ops:     s.opTotals(),
@@ -593,6 +615,18 @@ func (s *Server) opTotals() map[string][]obs.OpTotal {
 // StatusFor maps serving errors onto HTTP status codes.
 func StatusFor(err error) int {
 	switch {
+	// The watchdog kill wraps a context error, so it must outrank the bare
+	// ctx cases; it reads as a server-side timeout.
+	case errors.Is(err, ErrWatchdogKilled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrMemoryPressure):
+		// Admission shed: the client should back off and retry.
+		return http.StatusTooManyRequests
+	case errors.Is(err, tensor.ErrArenaBudget):
+		// The run itself outgrew the budget mid-flight: overload, 503.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.Canceled):
 		// Client went away; 499 is the de-facto status for that (nginx).
 		return 499

@@ -76,6 +76,32 @@ func (s *Server) writeMetrics(w *bufio.Writer) {
 		fmt.Fprintf(w, "ramield_arena_held_bytes %d\n", arena.HeldBytes)
 	}
 
+	// Resource governance: memory budget/headroom gauges and watchdog
+	// counters. Memory sheds ride errors_total{cause="memory"} per model.
+	mem := s.MemoryStats()
+	if mem.Enabled {
+		obs.PromHeader(w, "ramield_mem_budget_bytes", "gauge", "Configured memory budget for admission and the arena cap.")
+		fmt.Fprintf(w, "ramield_mem_budget_bytes %d\n", mem.BudgetBytes)
+		obs.PromHeader(w, "ramield_mem_reserved_bytes", "gauge", "Admission ledger: summed estimates of admitted, unfinished requests.")
+		fmt.Fprintf(w, "ramield_mem_reserved_bytes %d\n", mem.ReservedBytes)
+		obs.PromHeader(w, "ramield_mem_headroom_bytes", "gauge", "Budget minus in-use minus reserved (the fleet routing signal).")
+		fmt.Fprintf(w, "ramield_mem_headroom_bytes %d\n", mem.HeadroomBytes)
+		obs.PromHeader(w, "ramield_mem_sheds_total", "counter", "Requests rejected by memory-feasibility admission.")
+		fmt.Fprintf(w, "ramield_mem_sheds_total %d\n", mem.Sheds)
+		obs.PromHeader(w, "ramield_arena_budget_denials_total", "counter", "Arena buffer requests denied by the budget mid-run.")
+		fmt.Fprintf(w, "ramield_arena_budget_denials_total %d\n", mem.ArenaDenials)
+		obs.PromHeader(w, "ramield_mem_session_drops_total", "counter", "Pooled sessions discarded after a budget denial.")
+		fmt.Fprintf(w, "ramield_mem_session_drops_total %d\n", mem.SessionDrops)
+	}
+	if s.dog != nil {
+		obs.PromHeader(w, "ramield_watchdog_kills_total", "counter", "Runs force-cancelled by the stuck-run watchdog.")
+		fmt.Fprintf(w, "ramield_watchdog_kills_total %d\n", mem.WatchdogKills)
+		if snap := s.dog.killAge.Snapshot(); snap.Count > 0 {
+			obs.PromHeader(w, "ramield_watchdog_kill_age_seconds", "histogram", "Age of runs at the moment the watchdog killed them.")
+			obs.PromHistogram(w, "ramield_watchdog_kill_age_seconds", `kind="kill"`, snap)
+		}
+	}
+
 	// Per-model counters, cause-labeled errors, and stage histograms,
 	// snapshotted once per model. Sorted model order keeps the exposition
 	// diffable.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"runtime"
@@ -75,6 +76,32 @@ type Config struct {
 	// TimelineRing is how many sampled run timelines each program retains
 	// (default 4). Ignored when TimelineEvery is 0.
 	TimelineRing int
+	// MemBudgetBytes, when > 0, turns on memory governance: (1) requests
+	// are admitted only while the projected working set — arena in-use
+	// bytes plus the memory-plan estimates of admitted-but-unfinished
+	// requests — fits the budget, others shed in microseconds with cause
+	// "memory" (HTTP 429 + Retry-After); (2) the same budget caps the
+	// shared session arenas, so a run that outgrows its estimate fails
+	// with tensor.ErrArenaBudget instead of growing the heap unbounded.
+	// 0 (the default) disables governance; daemons default it to
+	// DetectMemoryBudget. The admit/release path allocates nothing.
+	MemBudgetBytes int64
+	// WatchdogFactor scales the stuck-run watchdog's kill limit:
+	// factor × the model's live p99 execution time, floored at
+	// WatchdogFloor. 0 picks the default (20); negative disables the
+	// watchdog entirely.
+	WatchdogFactor float64
+	// WatchdogFloor is the minimum age before any run can be killed
+	// (default 2s) — also the whole limit while a model has no latency
+	// samples yet.
+	WatchdogFloor time.Duration
+	// MaxBodyBytes caps HTTP /v1/infer request bodies (413 past it).
+	// 0 picks the default (8 MiB); negative disables the cap.
+	MaxBodyBytes int64
+	// NoFiniteCheck skips the NaN/±Inf feed scan (on by default: poisoned
+	// inputs fail as validation errors instead of propagating through the
+	// fused kernels).
+	NoFiniteCheck bool
 	// Compile sets the Ramiel pipeline options used for every model.
 	Compile ramiel.Options
 }
@@ -106,6 +133,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TimelineRing < 1 {
 		c.TimelineRing = 4
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 20
+	}
+	if c.WatchdogFloor <= 0 {
+		c.WatchdogFloor = 2 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -168,6 +204,8 @@ type Server struct {
 	reg      *Registry
 	pool     *Pool
 	sessions *sessionSource // pooled per-program execution sessions
+	gov      *memGovernor   // memory-feasibility admission (nil = off)
+	dog      *watchdog      // stuck-run watchdog (nil = off)
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -216,6 +254,20 @@ func New(cfg Config) *Server {
 	if s.obs {
 		s.traces = obs.NewTraceRing(cfg.TraceDepth)
 		s.slow = obs.NewTraceRing(cfg.TraceDepth)
+	}
+	if cfg.MemBudgetBytes > 0 {
+		var arena *tensor.ArenaStats
+		if !cfg.NoArena {
+			// One budget governs both layers: admission projects against
+			// it up front, and the shared arena enforces it mid-run as the
+			// backstop for runs that outgrow their estimate.
+			arena = &s.sessions.stats
+			arena.SetBudget(cfg.MemBudgetBytes)
+		}
+		s.gov = newMemGovernor(cfg.MemBudgetBytes, arena)
+	}
+	if cfg.WatchdogFactor > 0 {
+		s.dog = newWatchdog(cfg.Workers, cfg.WatchdogFactor, cfg.WatchdogFloor, s.obs)
 	}
 	return s
 }
@@ -342,7 +394,7 @@ func (s *Server) batcher(model string) *batcher {
 			// falls back to arrival-rate-only decisions.
 			adapt = newBatchAdapter(st.stages.Stage(obs.StageExec), s.cfg.MinFlush, flush, maxBatch)
 		}
-		b = newBatcher(model, s.reg, s.pool, s.sessions, maxBatch, flush, s.cfg.Deadline, st, adapt)
+		b = newBatcher(model, s.reg, s.pool, s.sessions, maxBatch, flush, s.cfg.Deadline, st, adapt, s.dog)
 		s.batchers[model] = b
 	}
 	return b
@@ -367,13 +419,39 @@ func (s *Server) Infer(ctx context.Context, model string, feeds ramiel.Env, noBa
 	st.Requests.Add(1)
 	st.InFlight.Add(1)
 	defer st.InFlight.Add(-1)
+	var cancel context.CancelFunc
 	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	} else if s.dog != nil {
+		// The watchdog kills by cancelling. A client-supplied deadline
+		// means no server-side cancel exists yet, so add one — off the
+		// default (no-deadline) path, which keeps its allocation profile.
+		ctx, cancel = context.WithCancel(ctx)
 		defer cancel()
 	}
 
-	outs, batchSize, ts, err := s.dispatch(ctx, model, feeds, noBatch)
+	var (
+		outs      ramiel.Env
+		batchSize int
+		ts        stageTimes
+		err       error
+	)
+	// Memory-feasibility admission: shed in microseconds (one sentinel
+	// error, no allocation) when the projected working set exceeds the
+	// budget, instead of queueing work the arena will refuse anyway.
+	reserved, admitted := s.gov.admit(s, model)
+	if !admitted {
+		err = ErrMemoryPressure
+	} else {
+		if !s.cfg.NoFiniteCheck {
+			err = ramiel.CheckFiniteFeeds(feeds)
+		}
+		if err == nil {
+			outs, batchSize, ts, err = s.dispatch(ctx, cancel, model, st, id, feeds, noBatch)
+		}
+		s.gov.release(reserved)
+	}
 	total := time.Since(start)
 	meta := InferMeta{
 		RequestID: id,
@@ -447,7 +525,7 @@ func (s *Server) record(st *ModelStats, model string, meta InferMeta, ts stageTi
 	}
 }
 
-func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, stageTimes, error) {
+func (s *Server) dispatch(ctx context.Context, cancel context.CancelFunc, model string, st *ModelStats, id uint64, feeds ramiel.Env, noBatch bool) (ramiel.Env, int, stageTimes, error) {
 	maxBatch, _ := s.cfg.tuning(model)
 	if maxBatch > 1 && !noBatch {
 		b := s.batcher(model)
@@ -461,10 +539,23 @@ func (s *Server) dispatch(ctx context.Context, model string, feeds ramiel.Env, n
 		return nil, 0, stageTimes{}, err
 	}
 	outs, timing, err := s.pool.Do(ctx, func(runCtx context.Context) (ramiel.Env, error) {
-		return s.sessions.run(runCtx, prog, feeds)
+		// Watchdog registration happens on the worker (concurrency ≤ the
+		// slot table size) and costs a table scan plus atomics — no
+		// allocation on the hot path.
+		slot := s.dog.begin(model, st, id, cancel)
+		outs, err := s.sessions.run(runCtx, prog, feeds)
+		if s.dog.end(slot) && err != nil {
+			err = fmt.Errorf("%w: %w", ErrWatchdogKilled, err)
+		}
+		return outs, err
 	})
 	ts := stageTimes{queue: timing.Queue, exec: timing.Exec, ran: timing.Ran}
 	if err != nil {
+		if !errors.Is(err, ErrWatchdogKilled) && s.dog.wasKilled(id) {
+			// Pool.Do returned the bare context error (the cancellation
+			// landed mid-run); re-attach the watchdog attribution.
+			err = fmt.Errorf("%w: %w", ErrWatchdogKilled, err)
+		}
 		return nil, 0, ts, err
 	}
 	return outs, 1, ts, nil
@@ -498,6 +589,10 @@ func (s *Server) Close(ctx context.Context) error {
 		batchers = append(batchers, b)
 	}
 	s.mu.Unlock()
+	// The watchdog outlives the drain (a wedged in-flight run should still
+	// be killable) and stops once the pool is settled. The closed guard
+	// above makes this single-shot.
+	defer s.dog.stopLoop()
 	// Batcher close waits for in-flight batches (bounded per batch by the
 	// request deadline, but possibly long); honor ctx rather than blocking
 	// Server.Close past its budget.

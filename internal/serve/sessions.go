@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	ramiel "repro"
 	"repro/internal/tensor"
@@ -31,6 +33,10 @@ import (
 type sessionSource struct {
 	arena bool
 	stats tensor.ArenaStats
+	// budgetDrops counts sessions discarded after an arena-budget denial
+	// (see run): dropping the session hands its parked free lists to the
+	// GC, which is exactly the relief a budget breach asks for.
+	budgetDrops atomic.Int64
 	// pools maps *ramiel.Program to its *sync.Pool of *ramiel.Session.
 	// Entries live as long as the registry's program cache keeps the
 	// program reachable, so growth is bounded by (model, batch) variants.
@@ -69,6 +75,15 @@ func (s *sessionSource) run(ctx context.Context, prog *ramiel.Program, feeds ram
 			// drop the session instead of pooling it. The sync.Pool
 			// replaces it on the next Get.
 			outs, err = nil, newPanicError(r, debug.Stack())
+			return
+		}
+		if err != nil && errors.Is(err, tensor.ErrArenaBudget) {
+			// A budget denial means the server is at its memory cap: the
+			// run's arena is reconciled (the executor abandoned its
+			// outstanding bytes) but re-pooling the session would keep its
+			// parked free lists resident. Drop it so held memory shrinks
+			// under exactly the pressure that tripped the budget.
+			s.budgetDrops.Add(1)
 			return
 		}
 		pool.Put(sess)

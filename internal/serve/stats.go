@@ -7,6 +7,7 @@ import (
 
 	ramiel "repro"
 	"repro/internal/obs"
+	"repro/internal/tensor"
 )
 
 // ErrorCause labels what went wrong with a failed request, for the
@@ -36,6 +37,18 @@ const (
 	// kernel (exec lane), the worker pool, or the batcher. The process
 	// survives; the request fails with a cause-labeled 500.
 	CausePanic
+	// CauseMemory: the request was shed by memory-feasibility admission
+	// (429) or its run hit the shared arena byte budget mid-flight (503).
+	// Either way the server protected itself from allocating past its
+	// memory budget.
+	CauseMemory
+	// CauseWatchdog: the stuck-run watchdog force-cancelled the run after
+	// it exceeded the p99-derived execution limit — a pathological input
+	// degraded one request instead of wedging a worker slot.
+	CauseWatchdog
+	// CauseBodyTooLarge: the HTTP request body exceeded the configured cap
+	// (413) — rejected before JSON decoding allocated anything.
+	CauseBodyTooLarge
 	numCauses
 )
 
@@ -58,6 +71,12 @@ func (c ErrorCause) String() string {
 		return "shutdown"
 	case CausePanic:
 		return "panic"
+	case CauseMemory:
+		return "memory"
+	case CauseWatchdog:
+		return "watchdog"
+	case CauseBodyTooLarge:
+		return "body_too_large"
 	}
 	return "unknown"
 }
@@ -78,10 +97,20 @@ func causeOf(err error) ErrorCause {
 	// aborted is a panic, not a cancel.
 	case isPanic(err):
 		return CausePanic
+	// Watchdog kills surface as context cancellation underneath, so the
+	// wrapper must be checked before the bare ctx errors.
+	case errors.Is(err, ErrWatchdogKilled):
+		return CauseWatchdog
 	case errors.Is(err, context.Canceled):
 		return CauseCanceled
 	case errors.Is(err, context.DeadlineExceeded):
 		return CauseDeadline
+	// Both memory verdicts — shed at admission, or denied by the arena
+	// budget mid-run — carry the same "memory" label.
+	case errors.Is(err, ErrMemoryPressure), errors.Is(err, tensor.ErrArenaBudget):
+		return CauseMemory
+	case errors.Is(err, ErrBodyTooLarge):
+		return CauseBodyTooLarge
 	case errors.Is(err, ramiel.ErrInvalidFeeds):
 		return CauseValidation
 	case errors.Is(err, ErrCompile):

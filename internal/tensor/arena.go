@@ -1,6 +1,8 @@
 package tensor
 
 import (
+	"errors"
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -31,7 +33,41 @@ type ArenaStats struct {
 	PeakBytes  atomic.Int64
 	// HeldBytes tracks bytes parked in free lists awaiting reuse.
 	HeldBytes atomic.Int64
+	// BudgetBytes, when positive, is a hard cap on InUseBytes enforced by
+	// every arena sharing this block: a Get that would push the gauge past
+	// it panics with *BudgetError instead of growing the heap. Zero (the
+	// default) means unlimited. It lives on the shared stats block — not
+	// the arena — so one budget governs all of a server's worker arenas.
+	BudgetBytes atomic.Int64
+	// BudgetDenials counts Gets refused by the budget.
+	BudgetDenials atomic.Int64
 }
+
+// SetBudget installs (or, with 0, removes) the shared in-use byte cap.
+func (s *ArenaStats) SetBudget(n int64) { s.BudgetBytes.Store(n) }
+
+// ErrArenaBudget is the sentinel wrapped by *BudgetError: a run tried to
+// allocate past the arena byte budget. Callers match it with errors.Is.
+var ErrArenaBudget = errors.New("arena budget exceeded")
+
+// BudgetError reports a Get denied by ArenaStats.BudgetBytes. Because the
+// Allocator interface has no error return, the arena raises it as a panic
+// value; the plan executor recovers it and unwinds the run like a
+// cancellation, so it surfaces to callers as an ordinary error.
+type BudgetError struct {
+	// Requested is the rounded-up byte size of the denied allocation.
+	Requested int64
+	// InUse and Budget are the shared gauge and cap at denial time.
+	InUse  int64
+	Budget int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%v: need %d bytes with %d of %d in use",
+		ErrArenaBudget, e.Requested, e.InUse, e.Budget)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrArenaBudget }
 
 // notePeak advances the PeakBytes high-water mark to at least v.
 func (s *ArenaStats) notePeak(v int64) {
@@ -45,27 +81,31 @@ func (s *ArenaStats) notePeak(v int64) {
 
 // ArenaStatsSnapshot is the JSON-friendly view of ArenaStats.
 type ArenaStatsSnapshot struct {
-	Gets       int64 `json:"gets"`
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	Puts       int64 `json:"puts"`
-	AllocBytes int64 `json:"alloc_bytes"`
-	InUseBytes int64 `json:"in_use_bytes"`
-	PeakBytes  int64 `json:"peak_bytes"`
-	HeldBytes  int64 `json:"held_bytes"`
+	Gets          int64 `json:"gets"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	AllocBytes    int64 `json:"alloc_bytes"`
+	InUseBytes    int64 `json:"in_use_bytes"`
+	PeakBytes     int64 `json:"peak_bytes"`
+	HeldBytes     int64 `json:"held_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes,omitempty"`
+	BudgetDenials int64 `json:"budget_denials,omitempty"`
 }
 
 // Snapshot reads the counters.
 func (s *ArenaStats) Snapshot() ArenaStatsSnapshot {
 	return ArenaStatsSnapshot{
-		Gets:       s.Gets.Load(),
-		Hits:       s.Hits.Load(),
-		Misses:     s.Misses.Load(),
-		Puts:       s.Puts.Load(),
-		AllocBytes: s.AllocBytes.Load(),
-		InUseBytes: s.InUseBytes.Load(),
-		PeakBytes:  s.PeakBytes.Load(),
-		HeldBytes:  s.HeldBytes.Load(),
+		Gets:          s.Gets.Load(),
+		Hits:          s.Hits.Load(),
+		Misses:        s.Misses.Load(),
+		Puts:          s.Puts.Load(),
+		AllocBytes:    s.AllocBytes.Load(),
+		InUseBytes:    s.InUseBytes.Load(),
+		PeakBytes:     s.PeakBytes.Load(),
+		HeldBytes:     s.HeldBytes.Load(),
+		BudgetBytes:   s.BudgetBytes.Load(),
+		BudgetDenials: s.BudgetDenials.Load(),
 	}
 }
 
@@ -139,6 +179,20 @@ func (a *Arena) get(n int, zero bool) []float32 {
 	}
 	a.stats.Gets.Add(1)
 	c := classFor(n)
+	// Budget gate: deny before touching the heap or the free lists, so a
+	// denied Get leaves no accounting to unwind. The check is two atomic
+	// loads when a budget is set and one when not — nothing on the hot
+	// path's allocation fast case changes.
+	if budget := a.stats.BudgetBytes.Load(); budget > 0 {
+		need := 4 * int64(n)
+		if c < numClasses {
+			need = 4 * (int64(1) << c)
+		}
+		if in := a.stats.InUseBytes.Load(); in+need > budget {
+			a.stats.BudgetDenials.Add(1)
+			panic(&BudgetError{Requested: need, InUse: in, Budget: budget})
+		}
+	}
 	if c >= numClasses {
 		// Beyond the class table (> 2^32 elements): no class rounding, an
 		// exact-size heap buffer with normal in-use accounting (Put floor-

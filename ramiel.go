@@ -3,6 +3,7 @@ package ramiel
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/codegen"
@@ -159,6 +160,12 @@ type Program struct {
 	// environment-reproduction expression into generated code (see
 	// CompiledEnv).
 	opts Options
+
+	// memEst memoizes MemoryEstimate: the sizing run is a full sequential
+	// execution, so it must happen at most once per program.
+	memEstOnce sync.Once
+	memEst     memplan.Estimate
+	memEstErr  error
 }
 
 // compile is the pipeline shared by Compile (functional options) and
@@ -275,6 +282,31 @@ func (p *Program) RunProfiledArena(feeds Env, a *Arena) (Env, *Profile, error) {
 // reuse slots, and (via Estimate with exec.ValueSizes) peak-memory
 // forecasts.
 func (p *Program) MemoryPlan() *memplan.Plan { return p.Plan.MemoryPlan() }
+
+// MemoryEstimate forecasts the program's peak arena working set for one
+// run: PeakLiveBytes (simultaneously-live intermediates under the static
+// reuse plan) plus ScratchBytes (the largest single-kernel transient, e.g.
+// an im2col patch matrix). Tensor shapes are not statically inferable, so
+// the sizes come from one deterministic sequential sizing run — the first
+// call costs about one sequential inference; the result is memoized.
+// Serving layers use it for memory-feasibility admission, computing it off
+// the request path.
+func (p *Program) MemoryEstimate() (memplan.Estimate, error) {
+	p.memEstOnce.Do(func() {
+		mp := p.Plan.MemoryPlan()
+		if mp == nil {
+			p.memEstErr = fmt.Errorf("ramiel: graph defies memory analysis")
+			return
+		}
+		mm, err := exec.MeasureCostsCtx(context.Background(), p.Graph, RandomInputs(p.Graph, 1), 1, 0)
+		if err != nil {
+			p.memEstErr = fmt.Errorf("ramiel: memory sizing run: %w", err)
+			return
+		}
+		p.memEst = mp.EstimateWithScratch(mm.ValueNumel, mm.ScratchNumel)
+	})
+	return p.memEst, p.memEstErr
+}
 
 // PrepackedWeights reports the compile-time weight prepacking: how many
 // GEMM-shaped nodes had constant operands packed into kernel panel layout

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -192,4 +193,24 @@ func (p *Program) ValidateFeeds(feeds Env) error {
 		parts = append(parts, "shape mismatches: "+strings.Join(mismatched, "; "))
 	}
 	return fmt.Errorf("ramiel: %w for %q: %s", ErrInvalidFeeds, p.Graph.Name, strings.Join(parts, "; "))
+}
+
+// CheckFiniteFeeds rejects feeds carrying NaN or ±Inf values. Non-finite
+// inputs propagate silently through the fused kernels and poison every
+// downstream activation, so serving layers scan feeds up front (opt-out via
+// their config) and fail them as validation errors. The scan is branch-only
+// over the feed data — no allocation on the accept path. The error wraps
+// ErrInvalidFeeds for cause classification.
+func CheckFiniteFeeds(feeds Env) error {
+	for name, t := range feeds {
+		if t == nil {
+			continue
+		}
+		for i, v := range t.Data() {
+			if v != v || v > math.MaxFloat32 || v < -math.MaxFloat32 {
+				return fmt.Errorf("ramiel: %w: non-finite value in %q at index %d", ErrInvalidFeeds, name, i)
+			}
+		}
+	}
+	return nil
 }
